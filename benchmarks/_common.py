@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment benchmarks.
+
+The measurement logic lives in :mod:`repro.experiments` (the library API
+downstream users call); this module just re-exports it for the bench
+files and adds the printing wrapper.
+
+Each ``bench_f*.py`` regenerates one figure of the paper (see DESIGN.md's
+per-experiment index) and prints the rows/series it asserts; run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.measures import format_table, realized_makespan
+
+__all__ = ["geo_ratio", "print_table", "realized_makespan"]
+
+
+def print_table(title: str, rows: list[dict],
+                order: list[str] | None = None) -> None:
+    print()
+    print(format_table(title, rows, order=order))
+
+
+def geo_ratio(results: dict[str, float], reference: str) -> dict[str, float]:
+    """Each entry's slowdown relative to *reference*."""
+    ref = results[reference]
+    return {name: value / ref for name, value in results.items()}

@@ -1,0 +1,92 @@
+"""A6 — sustained multi-application load (beyond the paper's single-app
+prototype).
+
+The paper's federation claims implicitly extend to streams of
+applications.  This experiment drives the open-loop workload player at
+increasing offered load and reports the classic saturation curve: mean
+makespan flat while capacity holds, then rising steeply as queueing
+dominates — and shows that consulting remote sites (k=1) pushes the knee
+out relative to local-only scheduling.
+"""
+
+from repro.workloads import (
+    WorkloadPlayer,
+    fourier_pipeline_graph,
+    linear_solver_graph,
+    quiet_testbed,
+)
+
+from _common import print_table
+
+
+def run_session(interarrival_s: float, k: int, count: int = 6,
+                seed: int = 7, heavy: bool = False,
+                monitor_period_s: float = 2.0):
+    vdce = quiet_testbed(seed=seed, monitor_period_s=monitor_period_s)
+    vdce.start()
+    if heavy:
+        # long tasks (~seconds each) so the monitoring pipeline has time
+        # to report the load the stream itself creates
+        factory = lambda i: linear_solver_graph(vdce.registry, n=150,  # noqa: E731
+                                                seed=i)
+    else:
+        factory = lambda i: fourier_pipeline_graph(vdce.registry, n=8192,  # noqa: E731
+                                                   stages=4)
+    player = WorkloadPlayer(
+        vdce, factory,
+        mean_interarrival_s=interarrival_s,
+        local_sites=["syracuse"], k_remote_sites=k)
+    return player.play(count=count, drain_s=14400)
+
+
+def test_saturation_curve(benchmark):
+    rows = []
+    for interarrival in (60.0, 5.0, 1.0, 0.2):
+        report = run_session(interarrival, k=1)
+        assert report.completed == report.submitted
+        rows.append({
+            "mean_interarrival_s": interarrival,
+            "mean_makespan_s": report.mean_makespan_s,
+            "p95_makespan_s": report.p95_makespan_s,
+            "throughput_per_min": report.throughput_per_min,
+        })
+    print_table("A6: saturation under open-loop load (k=1)", rows)
+    # light load: makespans near the solo value; heavy load: queueing bites
+    assert rows[-1]["mean_makespan_s"] > rows[0]["mean_makespan_s"] * 1.5
+    # makespan is monotone-ish in offered load (allow small noise)
+    assert rows[-1]["mean_makespan_s"] >= rows[1]["mean_makespan_s"] * 0.9
+    benchmark.pedantic(run_session, args=(5.0, 1), kwargs={"count": 3},
+                       rounds=1, iterations=1)
+
+
+def test_federation_needs_fresh_monitoring(benchmark):
+    """The distributed-scheduling classic: offloading on *stale* load
+    information oscillates (every submission sees the remote site idle,
+    herds there, and overloads it), so federated scheduling only beats
+    local-only once the monitoring pipeline reports fast enough relative
+    to the arrival rate.  Ties A6 back to F6's staleness story."""
+    rows = []
+    configs = [
+        ("local-only", 0, 2.0),
+        ("federated, 2s monitors", 1, 2.0),
+        ("federated, 0.25s monitors", 1, 0.25),
+    ]
+    for label, k, period in configs:
+        report = run_session(2.0, k=k, heavy=True,
+                             monitor_period_s=period)
+        remote = sum(r.table.remote_fraction("syracuse")
+                     for r in report.runs if r.table) / max(
+            len(report.runs), 1)
+        rows.append({"scheduler": label,
+                     "mean_makespan_s": report.mean_makespan_s,
+                     "p95_makespan_s": report.p95_makespan_s,
+                     "remote_fraction": remote})
+    print_table("A6: heavy stream — offloading vs monitoring freshness",
+                rows)
+    local, stale, fresh = rows
+    assert local["remote_fraction"] == 0.0
+    assert stale["remote_fraction"] > 0.1   # offloading happened
+    # fresh monitoring makes federation pay off vs both alternatives
+    assert fresh["mean_makespan_s"] < local["mean_makespan_s"]
+    assert fresh["mean_makespan_s"] < stale["mean_makespan_s"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

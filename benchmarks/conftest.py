@@ -1,0 +1,6 @@
+"""Make the benchmarks directory importable (for the _common helpers)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,89 @@
+"""Comparative scheduling: the VDCE Application Scheduler vs baselines.
+
+Runs the same application suite under (a) the paper's prediction-driven
+site scheduler, (b) a prediction-blind variant, (c) random placement, and
+(d) reported-load-only placement, on a loaded heterogeneous testbed —
+then prints the comparative visualization.  The VDCE scheduler should win
+because it alone combines task-specific computing-power weights with
+forecast load (paper section 2.2.1).
+
+Run:  python examples/comparative_scheduling.py
+"""
+
+from repro.prediction import PerformancePredictor
+from repro.scheduling import (
+    HostSelector,
+    MinLoadScheduler,
+    RandomScheduler,
+    SiteScheduler,
+    evaluate_schedule,
+)
+from repro.viz import ComparativeView
+from repro.workloads import linear_solver_graph, nynet_testbed
+
+
+def realized_makespan(vdce, graph, table) -> float:
+    """Ground-truth makespan of a schedule (durations from the execution
+    model at current true loads)."""
+
+    def duration(node_id: str) -> float:
+        entry = table.get(node_id)
+        node = graph.node(node_id)
+        host = vdce.world.host(entry.host)
+        return vdce.model.duration(node.definition,
+                                   node.properties.input_size, host,
+                                   processors=entry.processors)
+
+    return evaluate_schedule(graph, table, vdce.topology,
+                             duration_fn=duration).makespan
+
+
+def main() -> None:
+    vdce = nynet_testbed(seed=17, hosts_per_site=4, with_loads=True)
+    vdce.start()
+    vdce.warm_up(40.0)  # monitors populate the repositories
+    graph = linear_solver_graph(vdce.registry, n=200)
+
+    results: dict[str, float] = {}
+
+    # (a) the paper's scheduler: full prediction, 1 remote site
+    selectors = {s: HostSelector(r) for s, r in vdce.repositories.items()}
+    table, _ = SiteScheduler("syracuse", vdce.topology,
+                             k_remote_sites=1).schedule_with_selectors(
+        graph, selectors)
+    results["vdce-scheduler"] = realized_makespan(vdce, graph, table)
+
+    # (b) prediction-blind VDCE (no weights, no load, no memory terms)
+    blind = {
+        s: HostSelector(r, predictor=PerformancePredictor(
+            r.task_performance, use_weight=False, use_load=False,
+            use_memory=False))
+        for s, r in vdce.repositories.items()
+    }
+    table_b, _ = SiteScheduler("syracuse", vdce.topology,
+                               k_remote_sites=1).schedule_with_selectors(
+        graph, blind)
+    results["prediction-blind"] = realized_makespan(vdce, graph, table_b)
+
+    # (c) random and (d) reported-load-only placements
+    results["random"] = realized_makespan(
+        vdce, graph, RandomScheduler(vdce.repositories).schedule(graph))
+    results["min-reported-load"] = realized_makespan(
+        vdce, graph, MinLoadScheduler(vdce.repositories).schedule(graph))
+
+    width = max(len(k) for k in results)
+    best = min(results.values())
+    print(f"Realized makespan for {graph.name!r} "
+          f"(n=200, loaded heterogeneous testbed):\n")
+    for name, makespan in sorted(results.items(), key=lambda kv: kv[1]):
+        print(f"  {name:<{width}}  {makespan:8.2f}s   "
+              f"({makespan / best:4.2f}x best)")
+    assert results["vdce-scheduler"] <= min(
+        results["prediction-blind"], results["random"]) * 1.05, \
+        "the prediction-driven scheduler should win"
+    print("\nThe prediction-driven scheduler wins, as the paper claims: "
+          "it is the only one seeing task-specific weights AND forecast load.")
+
+
+if __name__ == "__main__":
+    main()

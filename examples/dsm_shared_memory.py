@@ -1,0 +1,82 @@
+"""The DSM extension: shared-memory programming over the VDCE WAN.
+
+The paper's future work: "a distributed shared memory model that will
+allow VDCE users to describe their applications using shared-memory
+paradigm."  This example runs an iterative shared-state computation
+(Jacobi-style averaging over a partitioned vector) on the DSM model and
+reports the coherence traffic the paradigm costs on a WAN: remote read
+misses, invalidations, and the hit rate that caching buys.
+
+Run:  python examples/dsm_shared_memory.py
+"""
+
+import numpy as np
+
+from repro.net import ATM_OC3, Topology
+from repro.runtime.data.dsm import SharedMemory
+from repro.simcore import Environment
+
+
+def main() -> None:
+    env = Environment()
+    topo = Topology()
+    sites = ["syracuse", "rome", "buffalo"]
+    for s in sites:
+        topo.add_site(s)
+    topo.connect("syracuse", "rome", ATM_OC3)
+    topo.connect("rome", "buffalo", ATM_OC3)
+    mem = SharedMemory(env, topo, home_site="syracuse",
+                       value_size_bytes=8 * 1024)
+
+    n_chunks = len(sites)
+    iterations = 8
+    rng = np.random.default_rng(7)
+    initial = [rng.standard_normal(1024) for _ in range(n_chunks)]
+
+    # initialise every chunk before any worker starts (a barrier a real
+    # DSM program would implement with a flag variable)
+    def setup(env):
+        for i, site in enumerate(sites):
+            yield from mem.write(site, f"chunk-{i}", initial[i])
+
+    env.run(until=env.process(setup(env)))
+
+    def worker(env, site: str, idx: int):
+        """Each site owns one chunk; every iteration it averages its
+        chunk with its neighbours' (read remote, write own)."""
+        for _ in range(iterations):
+            left = yield from mem.read(site, f"chunk-{(idx - 1) % n_chunks}")
+            right = yield from mem.read(site, f"chunk-{(idx + 1) % n_chunks}")
+            mine = yield from mem.read(site, f"chunk-{idx}")
+            updated = (left + right + 2 * mine) / 4.0
+            yield from mem.write(site, f"chunk-{idx}", updated)
+
+    procs = [env.process(worker(env, site, i))
+             for i, site in enumerate(sites)]
+    for p in procs:
+        env.run(until=p)
+
+    print(f"Jacobi relaxation over DSM: {n_chunks} sites x "
+          f"{iterations} iterations, 8 KB chunks")
+    print(f"  simulated time      : {env.now:.3f} s")
+    print(f"  reads               : {mem.stats.reads} "
+          f"(hits {mem.stats.read_hits}, misses {mem.stats.read_misses})")
+    print(f"  cache hit rate      : {mem.hit_rate():.0%}")
+    print(f"  writes              : {mem.stats.writes}")
+    print(f"  invalidations       : {mem.stats.invalidations_sent}")
+    total = np.concatenate([mem.peek(f"chunk-{i}") for i in range(n_chunks)])
+    print(f"  converged variance  : {total.var():.4f} "
+          f"(started at ~1.0 — relaxation smooths)")
+
+    # The point of the experiment: caching absorbs re-reads within an
+    # iteration, but every write invalidates the neighbours' copies, so
+    # coherence traffic (misses + invalidations) recurs every round and
+    # each miss costs a WAN round trip — the cost profile that made VDCE
+    # ship the dataflow model first and leave DSM as future work.
+    assert mem.stats.invalidations_sent > 0
+    assert mem.stats.read_misses >= n_chunks  # cold misses at minimum
+    assert total.var() < 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: build a two-site VDCE, compose an application in the
+Application Editor, run it, and read the results.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import VDCE, ATM_OC3, HostSpec
+from repro.viz import ApplicationPerformanceView
+
+
+def main() -> None:
+    # 1. Describe the virtual environment: two sites on an ATM WAN link
+    #    (the paper's NYNET testbed shape), three workstations each.
+    vdce = VDCE(seed=42)
+    vdce.add_site("syracuse")
+    vdce.add_site("rome")
+    vdce.connect_sites("syracuse", "rome", ATM_OC3)
+    for i in range(3):
+        vdce.add_host("syracuse", HostSpec(name=f"sun{i}", arch="sparc",
+                                           os="solaris", cpu_factor=1.0,
+                                           memory_mb=128))
+        vdce.add_host("rome", HostSpec(name=f"pc{i}", arch="x86",
+                                       os="linux", cpu_factor=1.4,
+                                       memory_mb=64))
+
+    # 2. Bring the runtime up: repositories, monitors, group managers,
+    #    site managers, data managers — plus calibration trial runs.
+    vdce.start()
+
+    # 3. Log in and build an application with the (programmatic)
+    #    Application Editor: signal -> FFT -> power spectrum -> peaks.
+    editor = vdce.open_editor("vdce", "vdce", "spectral-quickstart")
+    print("Task library menu:")
+    for library, tasks in editor.menu().items():
+        print(f"  {library}: {', '.join(tasks[:4])}, ...")
+
+    editor.add_task("signal-generate", "sig")
+    editor.add_task("fft-1d", "fft")
+    editor.add_task("power-spectrum", "power")
+    editor.add_task("peak-detect", "peaks")
+    from repro import TaskProperties
+    editor.set_properties("sig", TaskProperties(
+        input_size=2048,
+        params={"n": 2048, "tones": [(60.0, 1.0), (250.0, 0.7)],
+                "sample_rate": 1000.0}))
+    editor.set_properties("peaks", TaskProperties(
+        input_size=2048, params={"count": 2, "sample_rate": 1000.0}))
+
+    editor.set_mode("link")
+    editor.connect("sig", "signal", "fft", "signal")
+    editor.connect("fft", "spectrum", "power", "spectrum")
+    editor.connect("power", "power", "peaks", "power")
+
+    editor.set_mode("run")
+    graph = editor.submit()
+
+    # 4. Run it: schedule over both sites, execute, collect results.
+    run = vdce.run_application(graph, local_site="syracuse",
+                               k_remote_sites=1)
+    print(f"\nstatus      : {run.status}")
+    print(f"makespan    : {run.makespan:.3f} simulated seconds")
+    print(f"scheduling  : {run.scheduling_time * 1000:.1f} ms")
+    print(f"placement   : "
+          f"{ {n: e.host for n, e in run.table.entries.items()} }")
+    peaks = run.results()["peaks"]["peaks"]
+    print(f"found tones : {sorted(round(p) for p in peaks)} Hz "
+          f"(generated 60 Hz and 250 Hz)")
+
+    # 5. The application-performance visualization service.
+    print()
+    print(ApplicationPerformanceView(run).render())
+
+
+if __name__ == "__main__":
+    main()

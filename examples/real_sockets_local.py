@@ -1,0 +1,49 @@
+"""Real execution: threads + loopback TCP sockets, no simulation.
+
+The paper's Data Manager is "a socket-based, point-to-point communication
+system"; on thread-based systems it runs "send thread, receive thread,
+and compute thread" per task.  This example executes the Linear Equation
+Solver with exactly that organisation on the local machine: every task is
+its own 'machine' with a listening endpoint, channels are set up with the
+Figure 7 handshake (setup frame -> acknowledgment), and matrices really
+cross TCP — framed in a selectable message-passing dialect (the paper's
+P4 / PVM / MPI / NCS support).
+
+Run:  python examples/real_sockets_local.py
+"""
+
+import time
+
+from repro.runtime.local import run_local
+from repro.tasklib import standard_registry
+from repro.workloads import c3i_scenario_graph, linear_solver_graph
+
+
+def main() -> None:
+    registry = standard_registry()
+
+    print("Linear Equation Solver over real TCP channels, per dialect:")
+    for dialect in ("vdce", "p4", "pvm", "mpi", "ncs"):
+        graph = linear_solver_graph(registry, n=80)
+        t0 = time.perf_counter()
+        result = run_local(graph, dialect=dialect, timeout_s=60.0)
+        elapsed = time.perf_counter() - t0
+        assert result.ok, result.errors
+        residual = result.outputs["verify"]["norm"]
+        print(f"  dialect {dialect:>4}: ||Ax-b|| = {residual:.2e}  "
+              f"({elapsed * 1000:6.1f} ms wall-clock, "
+              f"{len(result.task_order)} tasks)")
+
+    print("\nC3I pipeline over real sockets (MPI dialect):")
+    graph = c3i_scenario_graph(registry, targets=30, steps=15)
+    result = run_local(graph, dialect="mpi", timeout_s=60.0)
+    assert result.ok, result.errors
+    plan = result.outputs["plan"]["plan"]
+    print(f"  engagement plan for {plan.shape[0]} threats; "
+          f"first assignment: track {int(plan[0, 0])} -> "
+          f"battery {int(plan[0, 1])}")
+    print(f"  task completion order: {' -> '.join(result.task_order)}")
+
+
+if __name__ == "__main__":
+    main()

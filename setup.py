@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Offline environments without the `wheel` package cannot take pip's
+PEP 517 editable path; `pip install -e . --no-use-pep517
+--no-build-isolation` uses this file's `setup.py develop` instead.
+"""
+
+from setuptools import setup
+
+setup()

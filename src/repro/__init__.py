@@ -1,0 +1,93 @@
+"""repro — a reproduction of "The Software Architecture of a Virtual
+Distributed Computing Environment" (Topcuoglu, Hariri, Furmanski,
+Valente; HPDC / Syracuse University, 1997).
+
+The package rebuilds the complete VDCE stack over a deterministic
+discrete-event simulation of a late-90s wide-area testbed:
+
+* :mod:`repro.afg` — the Application Editor and Application Flow Graphs;
+* :mod:`repro.tasklib` — the menu-driven task libraries (matrix algebra,
+  Fourier analysis, C3I) with real NumPy implementations;
+* :mod:`repro.scheduling` — the Application Scheduler: list-scheduling
+  levels, the Host Selection Algorithm (Fig. 5), the Site Scheduler
+  Algorithm (Fig. 4), baselines, QoS, dynamic rescheduling;
+* :mod:`repro.prediction` — Predict(task, R): computing-power weights,
+  workload forecasting, memory modelling, calibration trial runs;
+* :mod:`repro.runtime` — the Runtime System: Control Manager (monitors,
+  group managers, site managers, application controllers) and Data
+  Manager (channel setup, socket-style transfers, data conversion);
+* :mod:`repro.repository` — the four per-site databases;
+* :mod:`repro.core` — the :class:`~repro.core.vdce.VDCE` facade.
+
+Quickstart::
+
+    from repro import VDCE, HostSpec, ATM_OC3
+
+    vdce = VDCE(seed=1)
+    vdce.add_site("syracuse"); vdce.add_site("rome")
+    vdce.connect_sites("syracuse", "rome", ATM_OC3)
+    for i in range(3):
+        vdce.add_host("syracuse", HostSpec(name=f"sun{i}"))
+        vdce.add_host("rome", HostSpec(name=f"rl{i}", arch="x86", os="linux"))
+    vdce.start()
+    editor = vdce.open_editor("vdce", "vdce", "demo")
+    ...
+"""
+
+from repro.afg import (
+    ApplicationEditor,
+    ApplicationFlowGraph,
+    EditorSession,
+    GraphBuilder,
+    TaskProperties,
+)
+from repro.core import ApplicationRun, VDCE
+from repro.net import (
+    ATM_OC3,
+    ETHERNET_10,
+    ETHERNET_100,
+    T1_WAN,
+    LinkSpec,
+    Topology,
+)
+from repro.prediction import PerformancePredictor
+from repro.repository import SiteRepository
+from repro.resources import Host, HostSpec
+from repro.scheduling import (
+    HostSelector,
+    QoSRequirement,
+    ResourceAllocationTable,
+    SiteScheduler,
+)
+from repro.tasklib import LibraryRegistry, TaskDefinition, standard_registry
+from repro.util.errors import VDCEError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATM_OC3",
+    "ApplicationEditor",
+    "ApplicationFlowGraph",
+    "ApplicationRun",
+    "ETHERNET_10",
+    "ETHERNET_100",
+    "EditorSession",
+    "GraphBuilder",
+    "Host",
+    "HostSelector",
+    "HostSpec",
+    "LibraryRegistry",
+    "LinkSpec",
+    "PerformancePredictor",
+    "QoSRequirement",
+    "ResourceAllocationTable",
+    "SiteRepository",
+    "SiteScheduler",
+    "T1_WAN",
+    "TaskDefinition",
+    "TaskProperties",
+    "Topology",
+    "VDCE",
+    "VDCEError",
+    "standard_registry",
+]

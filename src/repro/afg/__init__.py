@@ -1,0 +1,37 @@
+"""Application Flow Graph: the editor's dataflow program representation."""
+
+from repro.afg.builder import GraphBuilder
+from repro.afg.editor import (
+    LINK_MODE,
+    MODES,
+    RUN_MODE,
+    TASK_MODE,
+    ApplicationEditor,
+    EditorSession,
+)
+from repro.afg.graph import ApplicationFlowGraph, Link, TaskNode
+from repro.afg.render import node_depths, render_graph, render_summary
+from repro.afg.properties import (
+    COMPUTATION_MODES,
+    SERVICES,
+    TaskProperties,
+)
+
+__all__ = [
+    "ApplicationEditor",
+    "ApplicationFlowGraph",
+    "COMPUTATION_MODES",
+    "EditorSession",
+    "GraphBuilder",
+    "LINK_MODE",
+    "Link",
+    "MODES",
+    "RUN_MODE",
+    "SERVICES",
+    "TASK_MODE",
+    "TaskNode",
+    "node_depths",
+    "render_graph",
+    "render_summary",
+    "TaskProperties",
+]

@@ -1,0 +1,195 @@
+"""The Application Editor.
+
+Paper section 2.1: a web-based graphical interface through which "the
+user can select/add new tasks, and/or click/drag icons" (task mode),
+"specify connections between tasks" (link mode), and submit the graph for
+execution (run mode).  This is the programmatic equivalent: the same
+modal workflow and the same output contract (a validated
+:class:`~repro.afg.graph.ApplicationFlowGraph`), with the pixels replaced
+by an object model.
+
+The editor is reached through a :class:`EditorSession`, which performs
+the paper's login step ("After user authentication, the Application
+Editor ... will be loaded into the user's local web browser").
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.afg.graph import ApplicationFlowGraph, Link, TaskNode
+from repro.afg.properties import TaskProperties
+from repro.repository.user_accounts import UserAccount, UserAccountsDB
+from repro.tasklib.registry import LibraryRegistry
+from repro.util.errors import EditorModeError, GraphError
+
+TASK_MODE = "task"
+LINK_MODE = "link"
+RUN_MODE = "run"
+MODES = (TASK_MODE, LINK_MODE, RUN_MODE)
+
+
+class ApplicationEditor:
+    """Modal AFG construction against a task-library registry."""
+
+    #: maximum retained undo snapshots
+    HISTORY_DEPTH = 50
+
+    def __init__(self, registry: LibraryRegistry,
+                 application_name: str = "application") -> None:
+        self.registry = registry
+        self.graph = ApplicationFlowGraph(name=application_name)
+        self.mode = TASK_MODE
+        self._next_icon = 1
+        self._undo_stack: list[dict] = []
+        self._redo_stack: list[dict] = []
+
+    # -- undo / redo (snapshot-based) ----------------------------------------
+    def _checkpoint(self) -> None:
+        """Record the pre-mutation state; clears the redo history."""
+        self._undo_stack.append(self.graph.to_dict())
+        if len(self._undo_stack) > self.HISTORY_DEPTH:
+            del self._undo_stack[0]
+        self._redo_stack.clear()
+
+    @property
+    def can_undo(self) -> bool:
+        return bool(self._undo_stack)
+
+    @property
+    def can_redo(self) -> bool:
+        return bool(self._redo_stack)
+
+    def undo(self) -> None:
+        """Revert the most recent graph mutation."""
+        if not self._undo_stack:
+            raise EditorModeError("nothing to undo")
+        self._redo_stack.append(self.graph.to_dict())
+        self.graph = ApplicationFlowGraph.from_dict(
+            self._undo_stack.pop(), self.registry)
+
+    def redo(self) -> None:
+        """Re-apply the most recently undone mutation."""
+        if not self._redo_stack:
+            raise EditorModeError("nothing to redo")
+        self._undo_stack.append(self.graph.to_dict())
+        self.graph = ApplicationFlowGraph.from_dict(
+            self._redo_stack.pop(), self.registry)
+
+    # -- modes --------------------------------------------------------------
+    def set_mode(self, mode: str) -> None:
+        """Switch between the editor's task / link / run modes."""
+        if mode not in MODES:
+            raise EditorModeError(f"unknown editor mode {mode!r}")
+        self.mode = mode
+
+    def _require_mode(self, mode: str, operation: str) -> None:
+        if self.mode != mode:
+            raise EditorModeError(
+                f"{operation} requires {mode} mode (editor is in "
+                f"{self.mode} mode)")
+
+    # -- menus ------------------------------------------------------------
+    def menu(self) -> dict[str, list[str]]:
+        """The menu-driven task libraries, grouped by functionality."""
+        return self.registry.menu()
+
+    # -- task mode -----------------------------------------------------------
+    def add_task(self, task_name: str, node_id: str | None = None,
+                 position: tuple[float, float] | None = None) -> TaskNode:
+        """Place a task icon in the active editor area."""
+        self._require_mode(TASK_MODE, "add_task")
+        self._checkpoint()
+        definition = self.registry.resolve(task_name)
+        if node_id is None:
+            node_id = f"{task_name}-{self._next_icon}"
+            self._next_icon += 1
+        if position is None:
+            position = (float(100 * len(self.graph.nodes)), 100.0)
+        return self.graph.add_node(node_id, definition, position=position)
+
+    def move_icon(self, node_id: str, position: tuple[float, float]) -> None:
+        """Drag an icon to a new position."""
+        self._require_mode(TASK_MODE, "move_icon")
+        self._checkpoint()
+        self.graph.node(node_id).position = tuple(position)
+
+    def remove_task(self, node_id: str) -> None:
+        """Delete an icon and all of its links (task mode only)."""
+        self._require_mode(TASK_MODE, "remove_task")
+        self._checkpoint()
+        self.graph.remove_node(node_id)
+
+    # -- link mode ------------------------------------------------------------
+    def connect(self, src: str, src_port: str, dst: str,
+                dst_port: str) -> Link:
+        """Draw a dataflow link between two ports (link mode only)."""
+        self._require_mode(LINK_MODE, "connect")
+        self._checkpoint()
+        return self.graph.add_link(src, src_port, dst, dst_port)
+
+    def disconnect(self, link: Link) -> None:
+        """Remove a previously drawn link (link mode only)."""
+        self._require_mode(LINK_MODE, "disconnect")
+        self._checkpoint()
+        self.graph.remove_link(link)
+
+    # -- property panel (any mode: it's a popup) -------------------------------
+    def set_properties(self, node_id: str,
+                       properties: TaskProperties) -> None:
+        """The double-click popup panel of Figure 3."""
+        node = self.graph.node(node_id)
+        if properties.computation_mode == "parallel" and \
+                not node.definition.parallel_capable:
+            raise GraphError(
+                f"task {node.task_name!r} does not support parallel mode")
+        self._checkpoint()
+        node.properties = properties
+
+    def get_properties(self, node_id: str) -> TaskProperties:
+        """Read a node's property panel."""
+        return self.graph.node(node_id).properties
+
+    # -- run mode -------------------------------------------------------------
+    def submit(self) -> ApplicationFlowGraph:
+        """Validate and hand over the AFG for scheduling."""
+        self._require_mode(RUN_MODE, "submit")
+        self.graph.validate(require_connected_inputs=True)
+        return self.graph
+
+    # -- persistence ("store the application flow graph for future use") ------
+    def save(self, path: str | Path) -> None:
+        """Store the (possibly draft) graph as JSON for future use."""
+        Path(path).write_text(json.dumps(self.graph.to_dict(), indent=2))
+
+    def load(self, path: str | Path) -> ApplicationFlowGraph:
+        """Replace the working graph with a previously saved one."""
+        data = json.loads(Path(path).read_text())
+        self.graph = ApplicationFlowGraph.from_dict(data, self.registry)
+        self._undo_stack.clear()
+        self._redo_stack.clear()
+        return self.graph
+
+
+class EditorSession:
+    """Authentication wrapper: the paper's URL-connection + login step."""
+
+    def __init__(self, accounts: UserAccountsDB,
+                 registry: LibraryRegistry) -> None:
+        self.accounts = accounts
+        self.registry = registry
+        self.user: UserAccount | None = None
+
+    def login(self, user_name: str, password: str) -> UserAccount:
+        """Authenticate; raises AuthenticationError on failure."""
+        self.user = self.accounts.authenticate(user_name, password)
+        return self.user
+
+    def open_editor(self, application_name: str = "application"
+                    ) -> ApplicationEditor:
+        """Load the Application Editor (post-authentication only)."""
+        if self.user is None:
+            raise EditorModeError("login required before opening the editor")
+        return ApplicationEditor(self.registry,
+                                 application_name=application_name)

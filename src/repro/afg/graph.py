@@ -1,0 +1,293 @@
+"""The Application Flow Graph (AFG).
+
+Paper section 2.1: "The Application flow graph is a directed acyclic
+graph, G = (T, L), where T is the set of tasks in the application and L
+is a set of directed links among tasks.  A directed link (i, j) between
+two tasks Ti and Tj of the application indicates that Ti must complete
+its execution before Tj begins to run."
+
+Nodes are :class:`TaskNode` instances referencing library tasks by name;
+links connect a producer's output *port* to a consumer's input *port*
+(the colored port markers on the editor icons).  The graph enforces DAG
+structure and port validity at construction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.afg.properties import TaskProperties
+from repro.tasklib.base import TaskDefinition
+from repro.tasklib.registry import LibraryRegistry
+from repro.util.errors import CycleError, GraphError, PortError
+
+
+@dataclass
+class TaskNode:
+    """One task icon placed in the editor's active area."""
+
+    node_id: str
+    task_name: str
+    definition: TaskDefinition
+    properties: TaskProperties = field(default_factory=TaskProperties)
+    position: tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def input_ports(self) -> tuple[str, ...]:
+        return self.definition.signature.inputs
+
+    @property
+    def output_ports(self) -> tuple[str, ...]:
+        return self.definition.signature.outputs
+
+    def base_cost(self) -> float:
+        """Base-processor computation cost at this node's input size.
+
+        This is the per-node computation cost used for level (priority)
+        computation by the scheduler.
+        """
+        return self.definition.base_execution_time(
+            self.properties.input_size,
+            processors=(self.properties.processors
+                        if self.properties.computation_mode == "parallel"
+                        else 1))
+
+    def output_bytes(self) -> float:
+        """Communication size shipped along each outgoing link."""
+        return self.definition.output_size_bytes(self.properties.input_size)
+
+    def memory_mb(self) -> float:
+        """Resident memory this node needs at its input size."""
+        return self.definition.memory_required_mb(self.properties.input_size)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed dataflow+precedence edge between two ports."""
+
+    src: str        # producer node id
+    src_port: str
+    dst: str        # consumer node id
+    dst_port: str
+
+    def __str__(self) -> str:
+        return f"{self.src}.{self.src_port} -> {self.dst}.{self.dst_port}"
+
+
+class ApplicationFlowGraph:
+    """A validated DAG of library tasks: the editor's output artifact."""
+
+    def __init__(self, name: str = "application") -> None:
+        if not name:
+            raise GraphError("application name may not be empty")
+        self.name = name
+        self.nodes: dict[str, TaskNode] = {}
+        self.links: list[Link] = []
+        self._succ: dict[str, list[Link]] = {}
+        self._pred: dict[str, list[Link]] = {}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- construction -------------------------------------------------------
+    def add_node(self, node_id: str, definition: TaskDefinition,
+                 properties: TaskProperties | None = None,
+                 position: tuple[float, float] = (0.0, 0.0)) -> TaskNode:
+        """Add a task node; ids are caller-chosen and unique."""
+        if node_id in self.nodes:
+            raise GraphError(f"node id {node_id!r} already in graph")
+        if not node_id:
+            raise GraphError("node id may not be empty")
+        node = TaskNode(node_id=node_id, task_name=definition.name,
+                        definition=definition,
+                        properties=properties or TaskProperties(),
+                        position=position)
+        self.nodes[node_id] = node
+        self._succ[node_id] = []
+        self._pred[node_id] = []
+        return node
+
+    def add_link(self, src: str, src_port: str, dst: str,
+                 dst_port: str) -> Link:
+        """Connect ``src.src_port -> dst.dst_port``; validates everything."""
+        for nid in (src, dst):
+            if nid not in self.nodes:
+                raise GraphError(f"unknown node {nid!r}")
+        if src == dst:
+            raise CycleError(f"self-loop on node {src!r}")
+        src_node, dst_node = self.nodes[src], self.nodes[dst]
+        if src_port not in src_node.output_ports:
+            raise PortError(
+                f"node {src!r} ({src_node.task_name}) has no output port "
+                f"{src_port!r}; ports: {src_node.output_ports}")
+        if dst_port not in dst_node.input_ports:
+            raise PortError(
+                f"node {dst!r} ({dst_node.task_name}) has no input port "
+                f"{dst_port!r}; ports: {dst_node.input_ports}")
+        for link in self._pred[dst]:
+            if link.dst_port == dst_port:
+                raise PortError(
+                    f"input port {dst!r}.{dst_port!r} is already fed by "
+                    f"{link.src!r}.{link.src_port!r}")
+        if self._would_create_cycle(src, dst):
+            raise CycleError(
+                f"link {src!r} -> {dst!r} would create a cycle")
+        link = Link(src=src, src_port=src_port, dst=dst, dst_port=dst_port)
+        self.links.append(link)
+        self._succ[src].append(link)
+        self._pred[dst].append(link)
+        return link
+
+    def remove_link(self, link: Link) -> None:
+        """Remove one link; raises when it is not in the graph."""
+        try:
+            self.links.remove(link)
+        except ValueError:
+            raise GraphError(f"link {link} not in graph") from None
+        self._succ[link.src].remove(link)
+        self._pred[link.dst].remove(link)
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node and every link touching it."""
+        if node_id not in self.nodes:
+            raise GraphError(f"unknown node {node_id!r}")
+        for link in list(self._succ[node_id]) + list(self._pred[node_id]):
+            self.remove_link(link)
+        del self.nodes[node_id]
+        del self._succ[node_id]
+        del self._pred[node_id]
+
+    def _would_create_cycle(self, src: str, dst: str) -> bool:
+        """True when dst already reaches src."""
+        stack, seen = [dst], set()
+        while stack:
+            cur = stack.pop()
+            if cur == src:
+                return True
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(link.dst for link in self._succ[cur])
+        return False
+
+    # -- structure queries -----------------------------------------------------
+    def node(self, node_id: str) -> TaskNode:
+        """Fetch a node by id; raises GraphError when unknown."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id!r}") from None
+
+    def successors(self, node_id: str) -> list[str]:
+        """Child node ids (one entry per outgoing link)."""
+        self.node(node_id)
+        return [link.dst for link in self._succ[node_id]]
+
+    def predecessors(self, node_id: str) -> list[str]:
+        """Parent node ids (one entry per incoming link)."""
+        self.node(node_id)
+        return [link.src for link in self._pred[node_id]]
+
+    def in_links(self, node_id: str) -> list[Link]:
+        """Incoming links of a node."""
+        self.node(node_id)
+        return list(self._pred[node_id])
+
+    def out_links(self, node_id: str) -> list[Link]:
+        """Outgoing links of a node."""
+        self.node(node_id)
+        return list(self._succ[node_id])
+
+    def entry_nodes(self) -> list[str]:
+        """Nodes with no parents (the scheduler's initial ready set)."""
+        return [nid for nid in self.nodes if not self._pred[nid]]
+
+    def exit_nodes(self) -> list[str]:
+        """Nodes with no children (level computation anchors here)."""
+        return [nid for nid in self.nodes if not self._succ[nid]]
+
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm; deterministic (insertion-order tie-break)."""
+        indeg = {nid: len(self._pred[nid]) for nid in self.nodes}
+        queue = [nid for nid in self.nodes if indeg[nid] == 0]
+        order: list[str] = []
+        while queue:
+            nid = queue.pop(0)
+            order.append(nid)
+            for link in self._succ[nid]:
+                indeg[link.dst] -= 1
+                if indeg[link.dst] == 0:
+                    queue.append(link.dst)
+        if len(order) != len(self.nodes):
+            raise CycleError("graph contains a cycle")  # pragma: no cover
+        return order
+
+    def validate(self, require_connected_inputs: bool = True) -> None:
+        """Full validation pass, raising on the first problem.
+
+        ``require_connected_inputs`` demands every input port be fed — a
+        graph can be *saved* half-finished but not *submitted* (run mode).
+        """
+        if not self.nodes:
+            raise GraphError("graph has no nodes")
+        self.topological_order()  # raises CycleError if cyclic
+        if require_connected_inputs:
+            for nid, node in self.nodes.items():
+                fed = {link.dst_port for link in self._pred[nid]}
+                missing = set(node.input_ports) - fed
+                if missing:
+                    raise PortError(
+                        f"node {nid!r} ({node.task_name}) has unconnected "
+                        f"input ports: {sorted(missing)}")
+
+    def critical_path_cost(self) -> float:
+        """Sum of base costs along the most expensive path (lower bound
+        on any schedule's makespan, ignoring communication)."""
+        best: dict[str, float] = {}
+        for nid in reversed(self.topological_order()):
+            node_cost = self.nodes[nid].base_cost()
+            child_best = max(
+                (best[link.dst] for link in self._succ[nid]), default=0.0)
+            best[nid] = node_cost + child_best
+        return max(best.values(), default=0.0)
+
+    def total_cost(self) -> float:
+        """Sum of all base costs (serial execution lower bound)."""
+        return sum(node.base_cost() for node in self.nodes.values())
+
+    # -- serialisation ----------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "nodes": [
+                {
+                    "node_id": n.node_id,
+                    "task_name": n.task_name,
+                    "properties": n.properties.to_dict(),
+                    "position": list(n.position),
+                }
+                for n in self.nodes.values()
+            ],
+            "links": [
+                {"src": l.src, "src_port": l.src_port,
+                 "dst": l.dst, "dst_port": l.dst_port}
+                for l in self.links
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any],
+                  registry: LibraryRegistry) -> "ApplicationFlowGraph":
+        graph = cls(name=data["name"])
+        for nd in data["nodes"]:
+            definition = registry.resolve(nd["task_name"])
+            graph.add_node(
+                nd["node_id"], definition,
+                properties=TaskProperties.from_dict(nd["properties"]),
+                position=tuple(nd.get("position", (0.0, 0.0))))
+        for ld in data["links"]:
+            graph.add_link(ld["src"], ld["src_port"], ld["dst"],
+                           ld["dst_port"])
+        return graph

@@ -1,0 +1,66 @@
+"""Per-task properties: the editor's double-click popup panel.
+
+Paper section 2.1 / Figure 3: "A double click on any task icon generates
+a popup panel that allows the user to specify (optional) preferences such
+as computational mode (sequential or parallel), machine type, and the
+number of processors to be used in a parallel implementation" — e.g. the
+LU Decomposition task run in parallel on two Solaris nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.resources.host import ARCHITECTURES
+from repro.util.errors import ConfigurationError
+
+COMPUTATION_MODES = ("sequential", "parallel")
+
+#: User-requestable runtime services (paper section 2.3.2).
+SERVICES = ("io", "console", "visualization")
+
+
+@dataclass
+class TaskProperties:
+    """Optional preferences attached to one AFG node."""
+
+    computation_mode: str = "sequential"
+    machine_type: str | None = None       # architecture preference
+    processors: int = 1                   # parallel-mode node count
+    preferred_site: str | None = None
+    input_size: float = 100.0             # workload size for the perf model
+    params: dict[str, Any] = field(default_factory=dict)
+    requested_services: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.computation_mode not in COMPUTATION_MODES:
+            raise ConfigurationError(
+                f"computation mode must be one of {COMPUTATION_MODES}, "
+                f"got {self.computation_mode!r}")
+        if self.machine_type is not None and \
+                self.machine_type not in ARCHITECTURES:
+            raise ConfigurationError(
+                f"unknown machine type {self.machine_type!r}")
+        if self.processors < 1:
+            raise ConfigurationError("processors must be >= 1")
+        if self.computation_mode == "sequential" and self.processors != 1:
+            raise ConfigurationError(
+                "sequential mode requires exactly one processor")
+        if self.input_size <= 0:
+            raise ConfigurationError("input_size must be positive")
+        for svc in self.requested_services:
+            if svc not in SERVICES:
+                raise ConfigurationError(
+                    f"unknown service {svc!r}; expected one of {SERVICES}")
+
+    def to_dict(self) -> dict[str, Any]:
+        d = asdict(self)
+        d["requested_services"] = list(self.requested_services)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "TaskProperties":
+        d = dict(d)
+        d["requested_services"] = tuple(d.get("requested_services", ()))
+        return cls(**d)

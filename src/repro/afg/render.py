@@ -1,0 +1,77 @@
+"""Text rendering of application flow graphs.
+
+The paper's editor draws clickable icons; headless environments get a
+layered ASCII view instead: nodes grouped by longest-path depth (the
+visual rows a dataflow editor would use), edges listed per node, and the
+property-panel summary inline.  Used by the CLI and handy in tests.
+"""
+
+from __future__ import annotations
+
+from repro.afg.graph import ApplicationFlowGraph
+
+
+def node_depths(graph: ApplicationFlowGraph) -> dict[str, int]:
+    """Longest-path depth from any entry node (entry = 0)."""
+    depths: dict[str, int] = {}
+    for nid in graph.topological_order():
+        preds = graph.predecessors(nid)
+        depths[nid] = 1 + max((depths[p] for p in preds), default=-1)
+    return depths
+
+
+def _props_summary(node) -> str:
+    p = node.properties
+    parts = []
+    if p.computation_mode == "parallel":
+        parts.append(f"parallel x{p.processors}")
+    if p.machine_type:
+        parts.append(p.machine_type)
+    if p.preferred_site:
+        parts.append(f"@{p.preferred_site}")
+    if p.input_size != 100.0:
+        parts.append(f"size={p.input_size:g}")
+    return f" [{', '.join(parts)}]" if parts else ""
+
+
+def render_graph(graph: ApplicationFlowGraph,
+                 show_ports: bool = True) -> str:
+    """Layered text view of *graph*."""
+    if not graph.nodes:
+        return f"{graph.name}: (empty)"
+    depths = node_depths(graph)
+    by_layer: dict[int, list[str]] = {}
+    for nid, d in depths.items():
+        by_layer.setdefault(d, []).append(nid)
+    lines = [f"{graph.name} — {len(graph)} tasks, "
+             f"{len(graph.links)} links"]
+    for layer in sorted(by_layer):
+        lines.append(f"  layer {layer}:")
+        for nid in sorted(by_layer[layer]):
+            node = graph.node(nid)
+            lines.append(f"    [{nid}] {node.task_name}"
+                         f"{_props_summary(node)}")
+            for link in graph.out_links(nid):
+                if show_ports:
+                    lines.append(f"        {link.src_port} --> "
+                                 f"{link.dst}.{link.dst_port}")
+                else:
+                    lines.append(f"        --> {link.dst}")
+    return "\n".join(lines)
+
+
+def render_summary(graph: ApplicationFlowGraph) -> str:
+    """One-line-per-metric summary (critical path, width, cost)."""
+    depths = node_depths(graph)
+    width = max(
+        sum(1 for d in depths.values() if d == layer)
+        for layer in set(depths.values()))
+    return "\n".join([
+        f"application    : {graph.name}",
+        f"tasks / links  : {len(graph)} / {len(graph.links)}",
+        f"depth / width  : {max(depths.values()) + 1} / {width}",
+        f"entry / exit   : {len(graph.entry_nodes())} / "
+        f"{len(graph.exit_nodes())}",
+        f"total cost     : {graph.total_cost():.3f} s (base processor)",
+        f"critical path  : {graph.critical_path_cost():.3f} s",
+    ])

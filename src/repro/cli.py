@@ -1,0 +1,305 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's workflow without writing code:
+
+* ``info``      — installed task libraries and message-passing dialects;
+* ``solve``     — run the Figure 3 Linear Equation Solver on the simulated
+                  NYNET testbed and verify the residual;
+* ``schedule``  — schedule a workload family and print the resource
+                  allocation table (without executing);
+* ``local``     — execute an application for real over loopback TCP;
+* ``monitor``   — run the monitoring pipeline and print the workload view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.runtime.data.messaging import DIALECTS
+from repro.tasklib import standard_registry
+from repro.viz import ApplicationPerformanceView, WorkloadView
+from repro.workloads import (
+    APPLICATION_FAMILIES,
+    c3i_scenario_graph,
+    fourier_pipeline_graph,
+    linear_solver_graph,
+    nynet_testbed,
+)
+
+
+def _build_app(name: str, registry, size: int | None):
+    if name == "linear-solver":
+        return linear_solver_graph(registry, n=size or 120)
+    if name == "fourier-pipeline":
+        return fourier_pipeline_graph(registry, n=size or 4096)
+    if name == "c3i-scenario":
+        return c3i_scenario_graph(registry, targets=size or 40)
+    raise SystemExit(
+        f"unknown application {name!r}; choose from "
+        f"linear-solver, fourier-pipeline, c3i-scenario")
+
+
+def cmd_info(args) -> int:
+    registry = standard_registry()
+    print(f"repro (VDCE reproduction) version {__version__}")
+    print("\nTask libraries:")
+    for library, tasks in registry.menu().items():
+        print(f"  {library} ({len(tasks)} tasks)")
+        for t in tasks:
+            d = registry.resolve(t)
+            marker = " [parallel]" if d.parallel_capable else ""
+            print(f"    - {t}{marker}: {d.description}")
+    print(f"\nMessage-passing dialects: {', '.join(sorted(DIALECTS))}")
+    print(f"Workload families: {', '.join(sorted(APPLICATION_FAMILIES))}")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    vdce = nynet_testbed(seed=args.seed, hosts_per_site=args.hosts,
+                         with_loads=not args.idle)
+    vdce.start()
+    if not args.idle:
+        vdce.warm_up(30.0)
+    graph = linear_solver_graph(vdce.registry, n=args.n,
+                                parallel_lu=args.parallel)
+    run = vdce.run_application(graph, "syracuse", k_remote_sites=args.k,
+                               max_sim_time_s=args.max_time)
+    print(f"status    : {run.status}")
+    if run.status != "completed":
+        return 1
+    print(f"makespan  : {run.makespan:.3f} simulated seconds")
+    print(f"residual  : {run.results()['verify']['norm']:.3e}")
+    print()
+    print(ApplicationPerformanceView(run).render())
+    if args.archive:
+        from repro.viz import archive_run
+        archive_run(run, args.archive, tracer=vdce.tracer)
+        print(f"\npost-mortem archive written to {args.archive}")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    vdce = nynet_testbed(seed=args.seed, hosts_per_site=args.hosts,
+                         with_loads=not args.idle)
+    vdce.start()
+    if not args.idle:
+        vdce.warm_up(30.0)
+    from repro.scheduling import (
+        HostSelector,
+        SiteScheduler,
+        predicted_schedule_length,
+    )
+    graph = _build_app(args.app, vdce.registry, args.size)
+    selectors = {s: HostSelector(r)
+                 for s, r in vdce.repositories.items()}
+    sched = SiteScheduler("syracuse", vdce.topology, k_remote_sites=args.k,
+                          queue_aware=args.queue_aware)
+    table, report = sched.schedule_with_selectors(graph, selectors)
+    print(f"application     : {graph.name} ({len(graph)} tasks)")
+    print(f"consulted sites : {', '.join(report.consulted_sites)}")
+    print(f"predicted length: "
+          f"{predicted_schedule_length(graph, table, vdce.topology):.3f} s")
+    print("\nresource allocation table:")
+    width = max(len(n) for n in table.entries)
+    for nid in report.scheduling_order:
+        e = table.get(nid)
+        print(f"  {nid:<{width}} -> {','.join(e.hosts):<22} "
+              f"predict {e.predicted_time_s:8.3f}s  "
+              f"transfer {e.predicted_transfer_s:7.3f}s")
+    return 0
+
+
+def cmd_local(args) -> int:
+    from repro.runtime.local import run_local
+    registry = standard_registry()
+    graph = _build_app(args.app, registry, args.size)
+    result = run_local(graph, dialect=args.dialect,
+                       timeout_s=args.max_time)
+    if not result.ok:
+        print(f"FAILED: {result.errors}", file=sys.stderr)
+        return 1
+    print(f"completed {len(result.task_order)} tasks over real TCP "
+          f"({args.dialect} dialect)")
+    print(f"order: {' -> '.join(result.task_order)}")
+    for nid, outputs in result.outputs.items():
+        for port, value in outputs.items():
+            desc = getattr(value, "shape", value)
+            print(f"  output {nid}.{port}: {desc}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.viz import RunArchive
+    print(RunArchive.load(args.archive).render())
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro import experiments
+    drivers = {
+        "schedulers": lambda: experiments.scheduler_comparison(
+            seeds=tuple(range(1, args.seeds + 1))),
+        "ablation": lambda: experiments.prediction_ablation(
+            seeds=tuple(range(1, args.seeds + 1))),
+        "monitoring": lambda: experiments.monitoring_comparison(),
+        "failure-detection": lambda: experiments.failure_detection_sweep(),
+    }
+    try:
+        driver = drivers[args.name]
+    except KeyError:
+        raise SystemExit(f"unknown experiment {args.name!r}; choose from "
+                         f"{', '.join(sorted(drivers))}")
+    result = driver()
+    print(result.render())
+    if args.json:
+        import json as _json
+        print(_json.dumps({"name": result.name, "rows": result.rows,
+                           "metadata": result.metadata}, indent=2))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.experiments import capacity_plan
+    registry = standard_registry()
+    graph = _build_app(args.app, registry, args.size)
+    plan = capacity_plan(graph, deadline_s=args.deadline,
+                         max_hosts=args.max_hosts)
+    print(f"application : {graph.name} ({len(graph)} tasks)")
+    print(f"deadline    : {args.deadline:.3f} s")
+    for hosts, predicted in plan.sweep:
+        marker = " <= deadline" if predicted <= args.deadline else ""
+        print(f"  {hosts:3d} hosts -> predicted {predicted:8.3f} s{marker}")
+    if plan.feasible:
+        print(f"answer      : {plan.hosts_needed} host(s) suffice "
+              f"(predicted {plan.predicted_s:.3f} s)")
+        return 0
+    print(f"answer      : infeasible within {args.max_hosts} hosts")
+    return 1
+
+
+def cmd_show(args) -> int:
+    from repro.afg import render_graph, render_summary
+    registry = standard_registry()
+    graph = _build_app(args.app, registry, args.size)
+    print(render_summary(graph))
+    print()
+    print(render_graph(graph, show_ports=not args.no_ports))
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    vdce = nynet_testbed(seed=args.seed, hosts_per_site=args.hosts,
+                         with_loads=True, filter_policy=args.policy)
+    vdce.start()
+    vdce.run(until=args.duration)
+    print(WorkloadView(vdce.tracer).render())
+    reports = sum(gm.stats.reports_received
+                  for gm in vdce.group_managers.values())
+    forwarded = sum(gm.stats.updates_forwarded
+                    for gm in vdce.group_managers.values())
+    print(f"\nmonitor reports: {reports}; forwarded to repositories: "
+          f"{forwarded} (policy: {args.policy}, "
+          f"{reports / max(forwarded, 1):.1f}x reduction)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VDCE — Virtual Distributed Computing Environment "
+                    "(Topcuoglu et al., 1997) reproduction")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list task libraries and dialects")
+
+    solve = sub.add_parser("solve", help="run the Figure 3 solver")
+    solve.add_argument("--n", type=int, default=120,
+                       help="matrix dimension")
+    solve.add_argument("--parallel", action="store_true",
+                       help="parallel LU on two nodes (the figure's panel)")
+    solve.add_argument("--k", type=int, default=1,
+                       help="remote sites to consult")
+    solve.add_argument("--archive", default=None,
+                       help="write a post-mortem JSON archive here")
+
+    replay = sub.add_parser("replay",
+                            help="render a saved post-mortem archive")
+    replay.add_argument("archive", help="path to a saved run archive")
+
+    sched = sub.add_parser("schedule", help="print an allocation table")
+    sched.add_argument("--app", default="linear-solver")
+    sched.add_argument("--size", type=int, default=None)
+    sched.add_argument("--k", type=int, default=1)
+    sched.add_argument("--queue-aware", action="store_true",
+                       help="use the earliest-finish-time extension")
+
+    local = sub.add_parser("local", help="execute over real TCP sockets")
+    local.add_argument("--app", default="linear-solver")
+    local.add_argument("--size", type=int, default=60)
+    local.add_argument("--dialect", default="vdce",
+                       choices=sorted(DIALECTS))
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name",
+                     choices=("schedulers", "ablation", "monitoring",
+                              "failure-detection"))
+    exp.add_argument("--seeds", type=int, default=2,
+                     help="replications for averaged experiments")
+    exp.add_argument("--json", action="store_true",
+                     help="also dump machine-readable JSON")
+
+    plan = sub.add_parser("plan",
+                          help="capacity planning: hosts needed for a deadline")
+    plan.add_argument("--app", default="linear-solver")
+    plan.add_argument("--size", type=int, default=None)
+    plan.add_argument("--deadline", type=float, required=True,
+                      help="target schedule length (simulated seconds)")
+    plan.add_argument("--max-hosts", type=int, default=16)
+
+    show = sub.add_parser("show", help="render an application flow graph")
+    show.add_argument("--app", default="linear-solver")
+    show.add_argument("--size", type=int, default=None)
+    show.add_argument("--no-ports", action="store_true")
+
+    monitor = sub.add_parser("monitor", help="run the monitoring pipeline")
+    monitor.add_argument("--duration", type=float, default=60.0)
+    monitor.add_argument("--policy", default="ci",
+                         choices=("always", "ci", "threshold"))
+
+    for p in (solve, sched, monitor):
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--hosts", type=int, default=4,
+                       help="hosts per site")
+        p.add_argument("--idle", action="store_true",
+                       help="no background load")
+    solve.add_argument("--max-time", type=float, default=3600.0,
+                       help="simulated-time budget")
+    local.add_argument("--max-time", type=float, default=120.0,
+                       help="wall-clock budget (s)")
+    return parser
+
+
+COMMANDS = {
+    "info": cmd_info,
+    "solve": cmd_solve,
+    "schedule": cmd_schedule,
+    "local": cmd_local,
+    "monitor": cmd_monitor,
+    "plan": cmd_plan,
+    "show": cmd_show,
+    "experiment": cmd_experiment,
+    "replay": cmd_replay,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

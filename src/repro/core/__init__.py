@@ -1,0 +1,6 @@
+"""The VDCE facade: environment + submission + lifecycle records."""
+
+from repro.core.run import ApplicationRun
+from repro.core.vdce import VDCE
+
+__all__ = ["ApplicationRun", "VDCE"]

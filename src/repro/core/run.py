@@ -1,0 +1,74 @@
+"""Application run records: what a submission returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.afg.graph import ApplicationFlowGraph
+from repro.scheduling.allocation import ResourceAllocationTable
+from repro.scheduling.site_scheduler import ScheduleReport
+
+#: terminal states of an application run
+STATUSES = ("completed", "timeout", "rejected")
+
+
+@dataclass
+class ApplicationRun:
+    """The full record of one application's trip through the VDCE."""
+
+    execution_id: str
+    graph: ApplicationFlowGraph
+    table: ResourceAllocationTable
+    report: ScheduleReport
+    status: str = "completed"
+    submitted_at: float = 0.0
+    scheduled_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    completions: dict[str, dict] = field(default_factory=dict)
+    reschedules: int = 0
+
+    @property
+    def makespan(self) -> float:
+        """Execution time from submission to last task completion."""
+        return self.finished_at - self.submitted_at
+
+    @property
+    def execution_time(self) -> float:
+        """Time from the start signal to the last task completion."""
+        return self.finished_at - self.started_at
+
+    @property
+    def scheduling_time(self) -> float:
+        """Time the scheduling round took (multicast + walk)."""
+        return self.scheduled_at - self.submitted_at
+
+    def results(self) -> dict[str, dict[str, Any]]:
+        """Outputs of the exit tasks (real values when impls ran)."""
+        out: dict[str, dict[str, Any]] = {}
+        for nid, payload in self.completions.items():
+            if "outputs" in payload:
+                out[nid] = payload["outputs"]
+        return out
+
+    def task_timeline(self) -> list[tuple[str, str, float, float]]:
+        """(node, host, start, finish) rows, by start time."""
+        rows = [
+            (nid, p["host"], p["started_s"], p["started_s"] + p["elapsed_s"])
+            for nid, p in self.completions.items()
+        ]
+        return sorted(rows, key=lambda r: (r[2], r[0]))
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "execution_id": self.execution_id,
+            "application": self.graph.name,
+            "status": self.status,
+            "tasks": len(self.graph),
+            "makespan_s": self.makespan,
+            "scheduling_time_s": self.scheduling_time,
+            "sites": sorted(self.table.sites()),
+            "hosts": len(self.table.hosts()),
+            "reschedules": self.reschedules,
+        }

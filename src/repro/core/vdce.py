@@ -1,0 +1,407 @@
+"""The VDCE facade: build an environment, submit applications, run them.
+
+This ties the three paper modules together exactly as Figure 2 draws
+them: the Application Editor produces an AFG; the Application Scheduler
+(per-site, message-coordinated) maps it; the Runtime System (Site
+Manager -> Group Managers -> Application Controllers + Data Managers)
+executes it and feeds measurements back into the site repositories.
+
+Typical use::
+
+    vdce = VDCE(seed=1)
+    vdce.add_site("syracuse")
+    vdce.add_site("rome")
+    vdce.connect_sites("syracuse", "rome", ATM_OC3)
+    vdce.add_host("syracuse", HostSpec(name="h0", ...))
+    ...
+    vdce.start()
+    editor = vdce.open_editor("alice", "pw", "my-app")
+    ... build the graph ...
+    run = vdce.run_application(editor.submit(), local_site="syracuse")
+    print(run.makespan, run.results())
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.afg.editor import ApplicationEditor, EditorSession
+from repro.afg.graph import ApplicationFlowGraph
+from repro.net import EXECUTION_REQUEST
+from repro.net.topology import LinkSpec
+from repro.prediction.calibration import calibrate_weights
+from repro.repository.site_repository import SiteRepository
+from repro.resources.failures import FailureInjector
+from repro.resources.groundtruth import ExecutionModel
+from repro.resources.host import Host, HostSpec
+from repro.resources.loads import OnOffLoad, RandomWalkLoad
+from repro.resources.site import VDCEnvironment
+from repro.runtime.control.app_controller import ApplicationController
+from repro.runtime.control.change_filter import ChangeFilter
+from repro.runtime.control.group_manager import GroupManager
+from repro.runtime.control.monitor import MonitorDaemon
+from repro.runtime.control.site_manager import SiteManager
+from repro.runtime.data.data_manager import DataManager
+from repro.scheduling.qos import QoSRequirement, require_admission
+from repro.scheduling.rescheduling import ReschedulePolicy, Rescheduler
+from repro.tasklib.registry import LibraryRegistry
+from repro.tasklib import standard_registry
+from repro.core.run import ApplicationRun
+from repro.util.errors import ConfigurationError, VDCEError
+
+
+class VDCE:
+    """A complete simulated Virtual Distributed Computing Environment."""
+
+    def __init__(self, seed: int = 0,
+                 registry: LibraryRegistry | None = None,
+                 trace: bool = True,
+                 monitor_period_s: float = 2.0,
+                 echo_period_s: float = 5.0,
+                 echo_timeout_s: float = 1.0,
+                 filter_policy: str = "ci",
+                 reschedule_policy: ReschedulePolicy | None = None,
+                 weight_jitter: float = 0.10) -> None:
+        self.world = VDCEnvironment(seed=seed, trace=trace)
+        self.registry = registry or standard_registry()
+        self.model = ExecutionModel(jitter=weight_jitter, seed=seed)
+        self.monitor_period_s = monitor_period_s
+        self.echo_period_s = echo_period_s
+        self.echo_timeout_s = echo_timeout_s
+        self.filter_policy = filter_policy
+        self.reschedule_policy = reschedule_policy or ReschedulePolicy()
+        self.failures = FailureInjector(self.world.env, self.world.tracer)
+        self.repositories: dict[str, SiteRepository] = {}
+        self.site_managers: dict[str, SiteManager] = {}
+        self.group_managers: dict[tuple[str, str], GroupManager] = {}
+        self.monitors: dict[str, MonitorDaemon] = {}
+        self.data_managers: dict[str, DataManager] = {}
+        self.app_controllers: dict[str, ApplicationController] = {}
+        self.load_models: list[Any] = []
+        self._byte_orders: dict[str, str] = {}
+        self._active_runs: dict[str, ApplicationRun] = {}
+        self._execution_seq = 0
+        self._started = False
+
+    # -- shared plumbing shortcuts ----------------------------------------
+    @property
+    def env(self):
+        return self.world.env
+
+    @property
+    def network(self):
+        return self.world.network
+
+    @property
+    def topology(self):
+        return self.world.topology
+
+    @property
+    def tracer(self):
+        return self.world.tracer
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    # -- construction (before start) -----------------------------------------
+    def _require_not_started(self, what: str) -> None:
+        if self._started:
+            raise ConfigurationError(f"{what} must happen before start()")
+
+    def add_site(self, name: str, lan: LinkSpec | None = None):
+        """Declare a VDCE site (before start())."""
+        self._require_not_started("add_site")
+        return self.world.add_site(name, lan=lan)
+
+    def connect_sites(self, a: str, b: str, link: LinkSpec) -> None:
+        """Add a WAN link between two declared sites (before start())."""
+        self._require_not_started("connect_sites")
+        self.world.connect_sites(a, b, link)
+
+    def add_host(self, site: str, spec: HostSpec) -> Host:
+        """Register a machine at a site (before start())."""
+        self._require_not_started("add_host")
+        return self.world.add_host(site, spec)
+
+    def attach_background_load(self, host_address: str,
+                               kind: str = "random-walk",
+                               **kwargs) -> None:
+        """Give one host a synthetic time-sharing load process."""
+        host = self.world.host(host_address)
+        rng = self.world.rng.stream(f"load:{host_address}")
+        if kind == "random-walk":
+            model = RandomWalkLoad(self.env, host, rng, **kwargs)
+        elif kind == "on-off":
+            model = OnOffLoad(self.env, host, rng, **kwargs)
+        else:
+            raise ConfigurationError(f"unknown load kind {kind!r}")
+        self.load_models.append(model)
+
+    # -- start: bring up every daemon ------------------------------------------
+    def start(self, calibration_coverage: float = 1.0,
+              constrain: dict[str, set[str]] | None = None,
+              add_default_user: bool = True) -> None:
+        """Populate repositories and launch the runtime daemons.
+
+        *constrain* optionally maps task name -> host addresses holding
+        its executable (default: every task installed everywhere).
+        """
+        if self._started:
+            raise ConfigurationError("VDCE already started")
+        if not self.world.sites:
+            raise ConfigurationError("no sites configured")
+        definitions = self.registry.all_tasks()
+        for host in self.world.all_hosts():
+            self._byte_orders[host.address] = host.spec.byte_order
+        for site_name, site in self.world.sites.items():
+            repo = SiteRepository(site_name)
+            hosts = list(site.hosts.values())
+            for host in hosts:
+                repo.resource_performance.register_host(site_name, host.spec)
+            calibrate_weights(
+                repo.task_performance, definitions, hosts, self.model,
+                coverage=calibration_coverage,
+                rng=self.world.rng.stream(f"calibration:{site_name}"))
+            for d in definitions:
+                for host in hosts:
+                    allowed = constrain.get(d.name) if constrain else None
+                    if allowed is not None and host.address not in allowed:
+                        continue
+                    repo.task_constraints.register_executable(
+                        d.name, host.address, f"/usr/vdce/bin/{d.name}")
+            if add_default_user:
+                repo.user_accounts.add_user("vdce", "vdce",
+                                            access_domain="multi-site")
+            self.repositories[site_name] = repo
+            sm = SiteManager(self.env, self.network, site, repo,
+                             self.topology, tracer=self.tracer)
+            sm.on_reschedule_request = self._handle_reschedule_request
+            self.site_managers[site_name] = sm
+            self._start_site_daemons(site_name, site, sm)
+        # host-down hook: reroute lost tasks of active executions
+        for sm in self.site_managers.values():
+            original = sm._on_host_down
+
+            def wrapped(msg, _original=original):
+                _original(msg)
+                self._handle_host_down(msg.payload["host"])
+
+            sm._on_host_down = wrapped  # type: ignore[method-assign]
+        self._rewire_inboxes()
+        self._started = True
+
+    def _rewire_inboxes(self) -> None:
+        """Rebuild site-manager dispatch tables after hook installation."""
+        # _inbox_loop reads handlers at dispatch time via dict lookup on
+        # bound methods, so replacing the bound attribute is sufficient;
+        # nothing to do — kept for interface clarity.
+
+    def _start_site_daemons(self, site_name: str, site, sm: SiteManager
+                            ) -> None:
+        for group, members in site.groups.items():
+            leader = site.group_leader(group)
+            gm = GroupManager(
+                self.env, self.network, site_name, group, leader,
+                member_hosts=[f"{site_name}/{m}" for m in members],
+                site_manager_addr=sm.address,
+                echo_period_s=self.echo_period_s,
+                echo_timeout_s=self.echo_timeout_s,
+                change_filter=ChangeFilter(policy=self.filter_policy),
+                tracer=self.tracer)
+            sm.register_group_manager(gm)
+            self.group_managers[(site_name, group)] = gm
+            for member in members:
+                host = site.host(member)
+                self.monitors[host.address] = MonitorDaemon(
+                    self.env, self.network, host, gm.address,
+                    period_s=self.monitor_period_s)
+                dm = DataManager(self.env, self.network, host,
+                                 byte_orders=self._byte_orders,
+                                 tracer=self.tracer)
+                self.data_managers[host.address] = dm
+                self.app_controllers[host.address] = ApplicationController(
+                    self.env, self.network, host, self.registry, self.model,
+                    dm, gm.address, policy=self.reschedule_policy,
+                    tracer=self.tracer)
+
+    # -- editor access -----------------------------------------------------
+    def open_editor(self, user: str, password: str,
+                    application_name: str = "application",
+                    site: str | None = None) -> ApplicationEditor:
+        """Authenticate against a site's user-accounts DB, open the editor."""
+        if not self._started:
+            raise ConfigurationError("start() the VDCE before opening editors")
+        site = site or sorted(self.repositories)[0]
+        session = EditorSession(self.repositories[site].user_accounts,
+                                self.registry)
+        session.login(user, password)
+        return session.open_editor(application_name)
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, graph: ApplicationFlowGraph, local_site: str,
+               k_remote_sites: int = 1,
+               qos: QoSRequirement | None = None,
+               queue_aware: bool = False):
+        """Submit an application; returns ``(process, run)``.
+
+        The process performs scheduling, QoS admission, distribution, and
+        completion tracking; drive the simulation with
+        :meth:`run_application` (or run the env yourself and inspect the
+        returned :class:`ApplicationRun` as it fills in).
+        """
+        if not self._started:
+            raise ConfigurationError("start() the VDCE before submitting")
+        if local_site not in self.site_managers:
+            raise ConfigurationError(f"unknown site {local_site!r}")
+        graph.validate()
+        self._execution_seq += 1
+        execution_id = f"exec-{self._execution_seq}"
+        run = ApplicationRun(execution_id=execution_id, graph=graph,
+                             table=None, report=None,  # type: ignore[arg-type]
+                             submitted_at=self.now, status="running")
+        self._active_runs[execution_id] = run
+
+        def proc(env):
+            sm = self.site_managers[local_site]
+            table, report = yield from sm.schedule_application(
+                graph, k_remote_sites=k_remote_sites,
+                queue_aware=queue_aware)
+            run.table, run.report = table, report
+            run.scheduled_at = env.now
+            if qos is not None:
+                require_admission(graph, table, self.topology, qos)
+            state = sm.distribute_allocation(
+                table, execution_id, graph,
+                max_host_load=(qos.max_host_load if qos is not None
+                               else None))
+            completions = yield state.finished
+            run.started_at = (state.start_signal_time
+                              if state.start_signal_time is not None
+                              else run.scheduled_at)
+            run.completions = dict(completions)
+            run.finished_at = env.now
+            run.status = "completed"
+            return run
+
+        process = self.env.process(proc(self.env),
+                                   name=f"submit:{graph.name}")
+        return process, run
+
+    def run_application(self, graph: ApplicationFlowGraph, local_site: str,
+                        k_remote_sites: int = 1,
+                        qos: QoSRequirement | None = None,
+                        max_sim_time_s: float = 3600.0,
+                        step_s: float = 5.0,
+                        queue_aware: bool = False) -> ApplicationRun:
+        """Submit and drive the simulation until completion (or timeout).
+
+        The environment's periodic daemons never let the event queue
+        drain, so completion is awaited in bounded steps rather than with
+        ``run(until=event)``.
+        """
+        process, run = self.submit(graph, local_site,
+                                   k_remote_sites=k_remote_sites, qos=qos,
+                                   queue_aware=queue_aware)
+        deadline = self.now + max_sim_time_s
+        while not process.triggered and self.now < deadline:
+            self.env.run(until=min(self.now + step_s, deadline))
+        if process.triggered:
+            if not process.ok:
+                run.status = "rejected"
+                raise process.exception  # type: ignore[misc]
+        else:
+            run.status = "timeout"
+        return run
+
+    # -- dynamic rescheduling (facade-level coordination) ------------------------
+    def _handle_reschedule_request(self, payload: dict) -> None:
+        execution_id = payload["execution_id"]
+        run = self._active_runs.get(execution_id)
+        if run is None or run.table is None:
+            return
+        entry_payload = dict(payload["entry"])
+        node_id = entry_payload["node_id"]
+        if node_id in run.completions:
+            return  # completed elsewhere in the meantime
+        attempt = entry_payload.get("attempt", 0) + 1
+        node = run.graph.node(node_id)
+        current = run.table.get(node_id)
+        rescheduler = Rescheduler(self.repositories,
+                                  policy=self.reschedule_policy)
+        exclude = {payload["host"]}
+        forced = attempt > self.reschedule_policy.max_attempts
+        try:
+            new_entry = rescheduler.reschedule(node, current,
+                                               exclude_hosts=exclude)
+        except VDCEError:
+            # nowhere to go: force re-execution where it was
+            new_entry = current
+            forced = True
+        run.table.reassign(new_entry) if new_entry is not current else None
+        run.reschedules += 1
+        local_site = run.report.local_site if run.report else \
+            sorted(self.site_managers)[0]
+        sm = self.site_managers[local_site]
+        fresh = SiteManager._entry_payload(new_entry, run.graph, run.table)
+        fresh["forward_inputs"] = payload.get("inputs") or {}
+        fresh["attempt"] = attempt
+        fresh["forced"] = forced
+        self.network.send(
+            sm.address, f"{new_entry.host}/appctl", EXECUTION_REQUEST,
+            payload={"application": run.graph.name,
+                     "execution_id": execution_id,
+                     "entries": [fresh], "coordinator": sm.address,
+                     "immediate": True},
+            size_bytes=256)
+        self.tracer.record(self.now, "vdce:rescheduled", sm.address,
+                           node=node_id, to=new_entry.host,
+                           attempt=attempt)
+
+    def _handle_host_down(self, host: str) -> None:
+        """Reroute unfinished tasks assigned to a failed host."""
+        for run in self._active_runs.values():
+            if run.table is None or run.status != "running":
+                continue
+            for entry in run.table.portion_for_host(host):
+                if entry.node_id in run.completions:
+                    continue
+                node = run.graph.node(entry.node_id)
+                # Inputs held on the dead machine are lost; the task is
+                # re-run in simulation mode (values regenerate only for
+                # entry tasks, whose inputs are parameters).
+                inputs = {port: None for port in node.input_ports}
+                self._handle_reschedule_request({
+                    "execution_id": run.execution_id,
+                    "entry": {"node_id": entry.node_id,
+                              "task_name": entry.task_name},
+                    "host": host, "inputs": inputs,
+                    "reason": "host-down",
+                })
+
+    # -- simulation control ------------------------------------------------------
+    def run(self, until: float | None = None):
+        """Advance the simulated clock (delegates to the engine)."""
+        return self.env.run(until=until)
+
+    def warm_up(self, duration_s: float = 30.0) -> None:
+        """Run monitors/loads for a while so repositories hold real data."""
+        self.env.run(until=self.now + duration_s)
+
+    def stop(self) -> None:
+        """Terminate every daemon and load model.
+
+        After stop() the event queue drains naturally; useful when a
+        VDCE instance is embedded in a longer-lived simulation and must
+        release its periodic processes.
+        """
+        for collection in (self.monitors, self.data_managers,
+                           self.app_controllers):
+            for daemon in collection.values():
+                daemon.stop()
+        for gm in self.group_managers.values():
+            gm.stop()
+        for sm in self.site_managers.values():
+            sm.stop()
+        for model in self.load_models:
+            model.stop()

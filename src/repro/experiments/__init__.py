@@ -1,0 +1,25 @@
+"""Programmatic experiment drivers (the benchmarks' library API)."""
+
+from repro.experiments.capacity import CapacityPlan, capacity_plan
+from repro.experiments.drivers import (
+    DEFAULT_FAMILIES,
+    ExperimentResult,
+    failure_detection_sweep,
+    monitoring_comparison,
+    prediction_ablation,
+    scheduler_comparison,
+)
+from repro.experiments.measures import format_table, realized_makespan
+
+__all__ = [
+    "CapacityPlan",
+    "DEFAULT_FAMILIES",
+    "capacity_plan",
+    "ExperimentResult",
+    "failure_detection_sweep",
+    "format_table",
+    "monitoring_comparison",
+    "prediction_ablation",
+    "realized_makespan",
+    "scheduler_comparison",
+]

@@ -1,0 +1,61 @@
+"""Measurement helpers shared by the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+from repro.afg.graph import ApplicationFlowGraph
+from repro.core.vdce import VDCE
+from repro.scheduling.allocation import ResourceAllocationTable
+from repro.scheduling.makespan import evaluate_schedule
+
+
+def realized_makespan(vdce: VDCE, graph: ApplicationFlowGraph,
+                      table: ResourceAllocationTable) -> float:
+    """Ground-truth makespan of a schedule on the current environment.
+
+    Durations come from the execution model at the hosts' *current true*
+    loads — the quantity the scheduler is trying to minimise but can only
+    estimate through the repository.  Cheap (no event simulation), exact
+    for the static-load snapshot at call time.
+    """
+
+    def duration(node_id: str) -> float:
+        entry = table.get(node_id)
+        node = graph.node(node_id)
+        host = vdce.world.host(entry.host)
+        return vdce.model.duration(node.definition,
+                                   node.properties.input_size, host,
+                                   processors=entry.processors)
+
+    return evaluate_schedule(graph, table, vdce.topology,
+                             duration_fn=duration).makespan
+
+
+def format_table(title: str, rows: list[dict],
+                 order: list[str] | None = None) -> str:
+    """Render result rows as an aligned text table."""
+    lines = [f"== {title} =="]
+    if not rows:
+        lines.append("  (no rows)")
+        return "\n".join(lines)
+    cols = order or list(rows[0])
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows))
+              for c in cols}
+    header = "  ".join(f"{c:>{widths[c]}}" for c in cols)
+    lines.append(f"  {header}")
+    lines.append(f"  {'-' * len(header)}")
+    for r in rows:
+        lines.append("  " + "  ".join(f"{_fmt(r.get(c)):>{widths[c]}}"
+                                      for c in cols))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3g}"
+        return f"{v:.3f}"
+    return str(v)

@@ -1,0 +1,58 @@
+"""Message envelopes for the simulated VDCE network.
+
+Every exchange between VDCE daemons — monitor reports, echo packets,
+AFG multicasts, resource-allocation-table pushes, inter-task data — is a
+:class:`Message`.  The ``kind`` names follow the interactions labelled in
+the paper's Figures 2, 6 and 7.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_SEQ = itertools.count(1)
+
+
+# Message kinds used by the Control Manager (paper Figure 6).
+LOAD_REPORT = "load-report"            # Monitor -> Group Manager
+WORKLOAD_UPDATE = "workload-update"    # Group Manager -> Site Manager
+ECHO_REQUEST = "echo-request"          # Group Manager -> host
+ECHO_REPLY = "echo-reply"              # host -> Group Manager
+HOST_DOWN = "host-down"                # Group Manager -> Site Manager
+AFG_MULTICAST = "afg-multicast"        # local Site Manager -> remote sites
+HOST_SELECTION_REPLY = "host-selection-reply"  # remote -> local site
+ALLOCATION_PUSH = "allocation-push"    # Site Manager -> Group Managers
+EXECUTION_REQUEST = "execution-request"  # Group Manager -> App Controller
+RESCHEDULE_REQUEST = "reschedule-request"  # App Controller -> Group Manager
+
+# Message kinds used by the Data Manager (paper Figure 7).
+CHANNEL_SETUP = "channel-setup"        # Data Manager -> peer proxy
+CHANNEL_ACK = "channel-ack"            # proxy -> Application Controller
+START_SIGNAL = "start-signal"          # Site Manager -> controllers
+TASK_DATA = "task-data"                # proxy -> proxy (inter-task data)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An addressed, sized unit of communication.
+
+    ``size_bytes`` drives the transfer-time model; control messages are
+    small and data messages carry the producing task's output size.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any = None
+    size_bytes: float = 256.0  # default control-message size
+    send_time: float = 0.0
+    seq: int = field(default_factory=lambda: next(_SEQ))
+
+    def reply(self, kind: str, payload: Any = None,
+              size_bytes: float = 256.0, send_time: float = 0.0) -> "Message":
+        """Build a response addressed back to this message's sender."""
+        return Message(src=self.dst, dst=self.src, kind=kind,
+                       payload=payload, size_bytes=size_bytes,
+                       send_time=send_time)

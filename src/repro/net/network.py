@@ -1,0 +1,153 @@
+"""The simulated message network connecting VDCE daemons.
+
+Endpoints register a mailbox under a hierarchical address
+``site/host[/service]``.  :meth:`Network.send` computes the transfer time
+from the :class:`~repro.net.topology.Topology` (WAN path between sites,
+LAN inside a site, loopback inside a host) and delivers the message into
+the destination mailbox after that delay.  Messages to hosts that are
+down are silently dropped — exactly the failure model the Group Manager's
+echo packets are designed to detect (paper section 2.3.1).
+
+The network also keeps per-kind traffic counters, which back the
+monitoring-traffic experiment (F6) and the setup-cost experiment (F7).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.simcore.engine import Environment
+from repro.simcore.store import Store
+from repro.simcore.trace import Tracer
+from repro.util.errors import ChannelError, ConfigurationError
+
+
+def split_address(addr: str) -> tuple[str, str]:
+    """Split ``site/host[/service]`` into ``(site, host)``.
+
+    Addresses with no ``/`` are site-level actors (e.g. a site manager):
+    site == host == addr.
+    """
+    parts = addr.split("/")
+    if not parts[0]:
+        raise ConfigurationError(f"malformed address {addr!r}")
+    if len(parts) == 1:
+        return parts[0], parts[0]
+    return parts[0], f"{parts[0]}/{parts[1]}"
+
+
+@dataclass
+class TrafficStats:
+    """Message/byte counters, overall and per message kind."""
+
+    messages: int = 0
+    bytes: float = 0.0
+    dropped: int = 0
+    by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_by_kind: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float))
+
+    def account(self, msg: Message) -> None:
+        """Tally one sent message into the counters."""
+        self.messages += 1
+        self.bytes += msg.size_bytes
+        self.by_kind[msg.kind] += 1
+        self.bytes_by_kind[msg.kind] += msg.size_bytes
+
+
+class Network:
+    """Latency/bandwidth-modelled message delivery between endpoints."""
+
+    def __init__(self, env: Environment, topology: Topology,
+                 tracer: Tracer | None = None,
+                 per_message_overhead_s: float = 1e-4) -> None:
+        self.env = env
+        self.topology = topology
+        self.tracer = tracer or Tracer(enabled=False)
+        self.per_message_overhead_s = per_message_overhead_s
+        self.stats = TrafficStats()
+        self._mailboxes: dict[str, Store] = {}
+        #: predicate deciding whether the *host* owning an address is up;
+        #: installed by the failure-injection layer.
+        self.is_up: Callable[[str], bool] = lambda host: True
+
+    # -- endpoints --------------------------------------------------------
+    def register(self, addr: str) -> Store:
+        """Create (or fetch) the mailbox for *addr*."""
+        split_address(addr)  # validate
+        box = self._mailboxes.get(addr)
+        if box is None:
+            box = Store(self.env)
+            self._mailboxes[addr] = box
+        return box
+
+    def mailbox(self, addr: str) -> Store:
+        """Fetch a registered endpoint's mailbox."""
+        try:
+            return self._mailboxes[addr]
+        except KeyError:
+            raise ChannelError(f"no endpoint registered at {addr!r}") from None
+
+    @property
+    def addresses(self) -> list[str]:
+        return list(self._mailboxes)
+
+    # -- delivery ---------------------------------------------------------
+    def delay_for(self, src: str, dst: str, nbytes: float) -> float:
+        """Modelled delivery delay for a message of *nbytes*."""
+        src_site, src_host = split_address(src)
+        dst_site, dst_host = split_address(dst)
+        if src_host == dst_host:
+            wire = 1e-5 + nbytes / 1e9  # loopback
+        else:
+            wire = self.topology.transfer_time(src_site, dst_site, nbytes)
+        return wire + self.per_message_overhead_s
+
+    def send(self, src: str, dst: str, kind: str, payload=None,
+             size_bytes: float = 256.0) -> Message:
+        """Send a message; it arrives after the modelled delay.
+
+        Returns the sent :class:`Message`.  Raises :class:`ChannelError`
+        when the destination endpoint was never registered (a programming
+        error, unlike a *down* host which is a simulated fault and drops
+        silently).
+        """
+        msg = Message(src=src, dst=dst, kind=kind, payload=payload,
+                      size_bytes=size_bytes, send_time=self.env.now)
+        box = self.mailbox(dst)
+        _dst_site, dst_host = split_address(dst)
+        _src_site, src_host = split_address(src)
+        self.stats.account(msg)
+        self.tracer.record(self.env.now, f"net:{kind}", src,
+                           dst=dst, bytes=size_bytes)
+        if not (self.is_up(dst_host) and self.is_up(src_host)):
+            self.stats.dropped += 1
+            self.tracer.record(self.env.now, "net:dropped", src, dst=dst,
+                               kind=kind)
+            return msg
+        delay = self.delay_for(src, dst, size_bytes)
+
+        def deliver(env, box=box, msg=msg, delay=delay):
+            yield env.timeout(delay)
+            # A host that went down mid-flight loses the message too.
+            if self.is_up(dst_host):
+                box.put(msg)
+            else:
+                self.stats.dropped += 1
+
+        self.env.process(deliver(self.env), name=f"deliver:{kind}")
+        return msg
+
+    def multicast(self, src: str, dsts: Iterable[str], kind: str,
+                  payload=None, size_bytes: float = 256.0) -> list[Message]:
+        """Send the same payload to several destinations.
+
+        The paper's Site Scheduler multicasts the AFG to the selected
+        remote sites (Figure 4 step 3); we model multicast as unicast
+        fan-out, which is what a mid-90s IP WAN would do.
+        """
+        return [self.send(src, d, kind, payload, size_bytes) for d in dsts]

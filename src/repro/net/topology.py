@@ -1,0 +1,160 @@
+"""Wide-area / site network topology.
+
+The paper's VDCE spans geographically distributed sites (Figure 1: e.g.
+the Syracuse and Rome sites on the NYNET ATM testbed) whose hosts form
+groups on LANs.  This module models that three-level structure — WAN
+links between sites, a LAN per group, loopback within a host — and
+computes per-transfer latency/transfer-time, which the Site Scheduler
+Algorithm's ``transfer_time(S_parent, S_j)`` term consumes directly.
+
+All sizes are bytes, times are seconds, bandwidths are bytes/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A physical network link: one-way latency plus bandwidth."""
+
+    latency_s: float
+    bandwidth_bps: float  # bytes per second
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigurationError(f"negative latency: {self.latency_s}")
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive: {self.bandwidth_bps}")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move *nbytes* across this link."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        return self.latency_s + nbytes / self.bandwidth_bps
+
+
+#: Representative 1997-era link presets (the paper's NYNET is ATM OC-3).
+ATM_OC3 = LinkSpec(latency_s=0.005, bandwidth_bps=155e6 / 8)
+ETHERNET_10 = LinkSpec(latency_s=0.001, bandwidth_bps=10e6 / 8)
+ETHERNET_100 = LinkSpec(latency_s=0.0005, bandwidth_bps=100e6 / 8)
+T1_WAN = LinkSpec(latency_s=0.020, bandwidth_bps=1.544e6 / 8)
+LOOPBACK = LinkSpec(latency_s=1e-5, bandwidth_bps=1e9)
+
+
+class Topology:
+    """Sites connected by WAN links; each site has a LAN spec.
+
+    The WAN is an undirected weighted graph over site names.  Transfers
+    between sites follow the minimum-latency path; the path's transfer
+    time is the sum of per-hop latencies plus the size divided by the
+    bottleneck (minimum) bandwidth along the path.  Transfers inside a
+    site use the site's LAN spec; transfers inside a host are loopback.
+    """
+
+    def __init__(self, lan: LinkSpec = ETHERNET_10,
+                 loopback: LinkSpec = LOOPBACK) -> None:
+        self._graph = nx.Graph()
+        self._lan: dict[str, LinkSpec] = {}
+        self._default_lan = lan
+        self._loopback = loopback
+
+    # -- construction -----------------------------------------------------
+    def add_site(self, site: str, lan: LinkSpec | None = None) -> None:
+        """Register a site, optionally with its own LAN characteristics."""
+        if site in self._graph:
+            raise ConfigurationError(f"site {site!r} already in topology")
+        self._graph.add_node(site)
+        self._lan[site] = lan or self._default_lan
+
+    def connect(self, a: str, b: str, link: LinkSpec = ATM_OC3) -> None:
+        """Add a WAN link between sites *a* and *b*."""
+        for s in (a, b):
+            if s not in self._graph:
+                raise ConfigurationError(f"unknown site {s!r}")
+        if a == b:
+            raise ConfigurationError("cannot connect a site to itself")
+        self._graph.add_edge(a, b, link=link)
+
+    @property
+    def sites(self) -> list[str]:
+        return list(self._graph.nodes)
+
+    def lan(self, site: str) -> LinkSpec:
+        """The LAN characteristics of one site."""
+        try:
+            return self._lan[site]
+        except KeyError:
+            raise ConfigurationError(f"unknown site {site!r}") from None
+
+    # -- queries ------------------------------------------------------------
+    def path(self, src: str, dst: str) -> list[str]:
+        """Minimum-latency site path from *src* to *dst* (inclusive)."""
+        for s in (src, dst):
+            if s not in self._graph:
+                raise ConfigurationError(f"unknown site {s!r}")
+        if src == dst:
+            return [src]
+        try:
+            return nx.shortest_path(
+                self._graph, src, dst,
+                weight=lambda u, v, d: d["link"].latency_s)
+        except nx.NetworkXNoPath:
+            raise ConfigurationError(
+                f"no WAN path between {src!r} and {dst!r}") from None
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way latency between two sites (0-byte message)."""
+        return self.transfer_time(src, dst, 0)
+
+    def transfer_time(self, src: str, dst: str, nbytes: float) -> float:
+        """Time to move *nbytes* from site *src* to site *dst*.
+
+        This is the ``transfer_time(S_parent, S_j) * file_size`` quantity
+        of the Site Scheduler Algorithm (paper Figure 4), expressed
+        directly in seconds for a transfer of the given size.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if src == dst:
+            return self.lan(src).transfer_time(nbytes)
+        hops = self.path(src, dst)
+        latency = 0.0
+        bottleneck = float("inf")
+        for u, v in zip(hops, hops[1:]):
+            link: LinkSpec = self._graph.edges[u, v]["link"]
+            latency += link.latency_s
+            bottleneck = min(bottleneck, link.bandwidth_bps)
+        return latency + nbytes / bottleneck
+
+    def neighbors_by_latency(self, site: str) -> list[str]:
+        """Every other reachable site ordered by ascending latency.
+
+        Feeds step 2 of the Site Scheduler Algorithm: "Select k nearest
+        VDCE neighbor sites".  Ties are broken by site name so the
+        ordering is deterministic.
+        """
+        if site not in self._graph:
+            raise ConfigurationError(f"unknown site {site!r}")
+        others = []
+        for other in self._graph.nodes:
+            if other == site:
+                continue
+            try:
+                others.append((self.latency(site, other), other))
+            except ConfigurationError:
+                continue  # unreachable: not a neighbour
+        others.sort()
+        return [name for _lat, name in others]
+
+    def nearest_sites(self, site: str, k: int) -> list[str]:
+        """The ``k`` nearest neighbour sites of *site*."""
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        return self.neighbors_by_latency(site)[:k]

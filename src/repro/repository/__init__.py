@@ -1,0 +1,38 @@
+"""Site repository: the four per-site databases of the paper."""
+
+from repro.repository.resource_perf import (
+    DEFAULT_WINDOW,
+    ResourcePerformanceDB,
+    ResourceRecord,
+)
+from repro.repository.site_repository import SiteRepository
+from repro.repository.store import Table, composite_key
+from repro.repository.task_constraints import TaskConstraintsDB
+from repro.repository.task_perf import (
+    ExecutionSample,
+    TaskPerformanceDB,
+    TaskPerformanceRecord,
+)
+from repro.repository.webserver import RepositoryWebServer
+from repro.repository.user_accounts import (
+    ACCESS_DOMAINS,
+    UserAccount,
+    UserAccountsDB,
+)
+
+__all__ = [
+    "ACCESS_DOMAINS",
+    "DEFAULT_WINDOW",
+    "ExecutionSample",
+    "ResourcePerformanceDB",
+    "RepositoryWebServer",
+    "ResourceRecord",
+    "SiteRepository",
+    "Table",
+    "TaskConstraintsDB",
+    "TaskPerformanceDB",
+    "TaskPerformanceRecord",
+    "UserAccount",
+    "UserAccountsDB",
+    "composite_key",
+]

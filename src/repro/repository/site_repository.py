@@ -1,0 +1,62 @@
+"""The site repository: the four databases bundled per site.
+
+Paper section 2: "Site repository, the web-based storage environment
+within a VDCE site, consists of four different databases."  Every VDCE
+site owns one :class:`SiteRepository`; the Site Manager is its sole
+writer for dynamic data, and the Application Scheduler reads it through
+the Site Manager (Figure 2).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.repository.resource_perf import ResourcePerformanceDB
+from repro.repository.task_constraints import TaskConstraintsDB
+from repro.repository.task_perf import TaskPerformanceDB
+from repro.repository.user_accounts import UserAccountsDB
+
+
+class SiteRepository:
+    """User accounts + resource performance + task performance + constraints."""
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self.user_accounts = UserAccountsDB()
+        self.resource_performance = ResourcePerformanceDB()
+        self.task_performance = TaskPerformanceDB()
+        self.task_constraints = TaskConstraintsDB()
+
+    # -- persistence -----------------------------------------------------
+    _FILES = {
+        "user_accounts": "user_accounts.json",
+        "resource_performance": "resource_performance.json",
+        "task_performance": "task_performance.json",
+        "task_constraints": "task_constraints.json",
+    }
+
+    def save(self, directory: str | Path) -> None:
+        """Persist all four databases under *directory*."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.user_accounts.save(directory / self._FILES["user_accounts"])
+        self.resource_performance.save(
+            directory / self._FILES["resource_performance"])
+        self.task_performance.save(
+            directory / self._FILES["task_performance"])
+        self.task_constraints.save(
+            directory / self._FILES["task_constraints"])
+
+    @classmethod
+    def load(cls, site: str, directory: str | Path) -> "SiteRepository":
+        directory = Path(directory)
+        repo = cls(site)
+        repo.user_accounts = UserAccountsDB.load(
+            directory / cls._FILES["user_accounts"])
+        repo.resource_performance = ResourcePerformanceDB.load(
+            directory / cls._FILES["resource_performance"])
+        repo.task_performance = TaskPerformanceDB.load(
+            directory / cls._FILES["task_performance"])
+        repo.task_constraints = TaskConstraintsDB.load(
+            directory / cls._FILES["task_constraints"])
+        return repo

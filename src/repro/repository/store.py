@@ -1,0 +1,99 @@
+"""A small JSON-backed keyed table.
+
+All four site-repository databases (paper section 2: user-accounts,
+resource-performance, task-performance, task-constraints) persist through
+this primitive: an in-memory dict of JSON-serialisable records with
+optional save/load to disk, standing in for the paper's "web-based
+repository" storage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.util.errors import NotRegisteredError, RepositoryError
+
+
+class Table:
+    """Keyed records with JSON persistence.
+
+    Keys are strings (composite keys are joined with ``"|"`` by callers);
+    values must be JSON-serialisable.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._rows: dict[str, Any] = {}
+
+    # -- CRUD ---------------------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        """Insert or replace a record."""
+        self._rows[key] = value
+
+    def get(self, key: str) -> Any:
+        """Fetch a record; raises NotRegisteredError when missing."""
+        try:
+            return self._rows[key]
+        except KeyError:
+            raise NotRegisteredError(
+                f"{self.name}: no record for key {key!r}") from None
+
+    def get_or(self, key: str, default: Any = None) -> Any:
+        """Fetch a record or return *default*."""
+        return self._rows.get(key, default)
+
+    def delete(self, key: str) -> None:
+        """Remove a record; raises when missing."""
+        if key not in self._rows:
+            raise NotRegisteredError(
+                f"{self.name}: cannot delete missing key {key!r}")
+        del self._rows[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def keys(self) -> list[str]:
+        """All record keys."""
+        return list(self._rows)
+
+    def items(self) -> list[tuple[str, Any]]:
+        """All (key, record) pairs."""
+        return list(self._rows.items())
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the table to *path* as JSON."""
+        path = Path(path)
+        try:
+            payload = json.dumps({"table": self.name, "rows": self._rows},
+                                 indent=2, sort_keys=True)
+        except TypeError as exc:
+            raise RepositoryError(
+                f"{self.name}: non-JSON-serialisable record: {exc}") from exc
+        path.write_text(payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Table":
+        path = Path(path)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RepositoryError(f"cannot load table from {path}: {exc}") from exc
+        if not isinstance(doc, dict) or "table" not in doc or "rows" not in doc:
+            raise RepositoryError(f"{path} is not a saved table")
+        table = cls(doc["table"])
+        table._rows = dict(doc["rows"])
+        return table
+
+
+def composite_key(*parts: str) -> str:
+    """Join key components; components may not contain the separator."""
+    for p in parts:
+        if "|" in p:
+            raise RepositoryError(f"key component {p!r} contains '|'")
+    return "|".join(parts)

@@ -1,0 +1,112 @@
+"""The user-accounts database.
+
+Paper section 2: "each VDCE user account is represented by a 5-tuple:
+user name, password, user ID, priority, and access domain type."
+Passwords are stored salted-and-hashed (the paper predates that norm, but
+storing plaintext would be indefensible even in a reproduction).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+from repro.repository.store import Table
+from repro.util.errors import AuthenticationError, RepositoryError
+
+#: Access-domain types: which parts of the VDCE a user may reach.
+ACCESS_DOMAINS = ("local-site", "multi-site", "administrator")
+
+
+def _hash_password(password: str, salt: str) -> str:
+    return hashlib.sha256(f"{salt}:{password}".encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class UserAccount:
+    """The paper's 5-tuple (password held as salt+hash)."""
+
+    user_name: str
+    password_salt: str
+    password_hash: str
+    user_id: int
+    priority: int
+    access_domain: str
+
+    def check_password(self, password: str) -> bool:
+        """Constant-shape salted-hash comparison."""
+        return _hash_password(password, self.password_salt) == self.password_hash
+
+
+class UserAccountsDB:
+    """Accounts keyed by user name; authentication for the editor login."""
+
+    def __init__(self) -> None:
+        self._table = Table("user-accounts")
+        self._next_id = 1
+
+    def add_user(self, user_name: str, password: str, priority: int = 5,
+                 access_domain: str = "local-site") -> UserAccount:
+        """Create an account (the paper's 5-tuple)."""
+        if not user_name:
+            raise RepositoryError("user name may not be empty")
+        if user_name in self._table:
+            raise RepositoryError(f"user {user_name!r} already exists")
+        if access_domain not in ACCESS_DOMAINS:
+            raise RepositoryError(
+                f"unknown access domain {access_domain!r}; "
+                f"expected one of {ACCESS_DOMAINS}")
+        if not 0 <= priority <= 10:
+            raise RepositoryError("priority must be within [0, 10]")
+        salt = secrets.token_hex(8)
+        account = UserAccount(
+            user_name=user_name,
+            password_salt=salt,
+            password_hash=_hash_password(password, salt),
+            user_id=self._next_id,
+            priority=priority,
+            access_domain=access_domain,
+        )
+        self._next_id += 1
+        self._table.put(user_name, account.__dict__.copy())
+        return account
+
+    def authenticate(self, user_name: str, password: str) -> UserAccount:
+        """Return the account on success; raise AuthenticationError otherwise.
+
+        The error message never reveals whether the user exists.
+        """
+        row = self._table.get_or(user_name)
+        if row is None:
+            raise AuthenticationError("invalid user name or password")
+        account = UserAccount(**row)
+        if not account.check_password(password):
+            raise AuthenticationError("invalid user name or password")
+        return account
+
+    def remove_user(self, user_name: str) -> None:
+        """Delete an account."""
+        self._table.delete(user_name)
+
+    def get(self, user_name: str) -> UserAccount:
+        """Fetch an account without authenticating."""
+        return UserAccount(**self._table.get(user_name))
+
+    def __contains__(self, user_name: str) -> bool:
+        return user_name in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # persistence passthrough
+    def save(self, path) -> None:
+        self._table.save(path)
+
+    @classmethod
+    def load(cls, path) -> "UserAccountsDB":
+        db = cls()
+        db._table = Table.load(path)
+        ids = [row["user_id"] for _k, row in db._table.items()]
+        db._next_id = max(ids, default=0) + 1
+        return db

@@ -1,0 +1,135 @@
+"""The web-based repository interface.
+
+Paper section 2: the site repository is "the *web-based* storage
+environment within a VDCE site", and the Site Manager "bridges the VDCE
+modules to the web-based repository" over URL connections.  This module
+provides that HTTP face with the standard library: a read-only JSON API
+over one :class:`SiteRepository`, plus authenticated session creation
+against the user-accounts database (the editor's login step as an actual
+HTTP exchange).
+
+Endpoints (all JSON):
+
+* ``GET  /``                          — site name + endpoint index
+* ``GET  /resource-performance``      — every host record
+* ``GET  /resource-performance/<site>/<host>`` — one host record
+* ``GET  /task-performance``          — task records + weight count
+* ``GET  /task-performance/<task>``   — one task record + its history
+* ``GET  /task-constraints/<task>``   — hosts holding the executable
+* ``POST /login``                     — ``{"user": ..., "password": ...}``
+  → 200 with the account's public fields, or 401
+
+The server runs on a daemon thread; it exists for fidelity and as a
+debugging window, not as the simulation's transport (daemons talk over
+the simulated network).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote
+
+from repro.repository.site_repository import SiteRepository
+from repro.util.errors import AuthenticationError, NotRegisteredError
+
+
+class _Handler(BaseHTTPRequestHandler):
+    repository: SiteRepository  # installed by the server factory
+
+    # -- plumbing -----------------------------------------------------------
+    def log_message(self, fmt, *args):  # silence stderr noise
+        pass
+
+    def _reply(self, status: int, payload) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- GET ---------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        parts = [unquote(p) for p in self.path.strip("/").split("/") if p]
+        repo = self.repository
+        try:
+            if not parts:
+                self._reply(200, {
+                    "site": repo.site,
+                    "endpoints": ["/resource-performance",
+                                  "/task-performance",
+                                  "/task-constraints/<task>", "/login"]})
+            elif parts[0] == "resource-performance" and len(parts) == 1:
+                self._reply(200, [asdict(r) for r in
+                                  repo.resource_performance.all_records()])
+            elif parts[0] == "resource-performance" and len(parts) == 3:
+                rec = repo.resource_performance.get(f"{parts[1]}/{parts[2]}")
+                self._reply(200, asdict(rec))
+            elif parts[0] == "task-performance" and len(parts) == 1:
+                names = repo.task_performance.task_names()
+                self._reply(200, {"tasks": names, "count": len(names)})
+            elif parts[0] == "task-performance" and len(parts) == 2:
+                rec = repo.task_performance.get(parts[1])
+                history = repo.task_performance.history(parts[1])
+                self._reply(200, {"record": asdict(rec),
+                                  "executions": [asdict(s)
+                                                 for s in history]})
+            elif parts[0] == "task-constraints" and len(parts) == 2:
+                hosts = sorted(repo.task_constraints.hosts_with(parts[1]))
+                self._reply(200, {"task": parts[1], "hosts": hosts})
+            else:
+                self._reply(404, {"error": f"no such endpoint {self.path}"})
+        except NotRegisteredError as exc:
+            self._reply(404, {"error": str(exc)})
+
+    # -- POST ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path.rstrip("/") != "/login":
+            self._reply(404, {"error": f"no such endpoint {self.path}"})
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        try:
+            doc = json.loads(self.rfile.read(length) or b"{}")
+            account = self.repository.user_accounts.authenticate(
+                doc.get("user", ""), doc.get("password", ""))
+        except json.JSONDecodeError:
+            self._reply(400, {"error": "request body must be JSON"})
+            return
+        except AuthenticationError as exc:
+            self._reply(401, {"error": str(exc)})
+            return
+        self._reply(200, {"user_name": account.user_name,
+                          "user_id": account.user_id,
+                          "priority": account.priority,
+                          "access_domain": account.access_domain})
+
+
+class RepositoryWebServer:
+    """Serve one site repository over HTTP on a daemon thread."""
+
+    def __init__(self, repository: SiteRepository,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        handler = type("BoundHandler", (_Handler,),
+                       {"repository": repository})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repo-web", daemon=True)
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address  # type: ignore[return-value]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Stop serving and release the port."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)

@@ -1,0 +1,39 @@
+"""Resource model: hosts, sites, background loads, failure injection."""
+
+from repro.resources.failures import FailureInjector
+from repro.resources.host import (
+    ARCHITECTURES,
+    BYTE_ORDERS,
+    OPERATING_SYSTEMS,
+    Host,
+    HostSpec,
+)
+from repro.resources.loads import (
+    LoadModel,
+    OnOffLoad,
+    RandomWalkLoad,
+    SpikeLoad,
+    TraceLoad,
+    attach_random_loads,
+    diurnal_trace,
+)
+from repro.resources.site import Site, VDCEnvironment, build_environment
+
+__all__ = [
+    "ARCHITECTURES",
+    "BYTE_ORDERS",
+    "FailureInjector",
+    "Host",
+    "HostSpec",
+    "LoadModel",
+    "OPERATING_SYSTEMS",
+    "OnOffLoad",
+    "RandomWalkLoad",
+    "Site",
+    "SpikeLoad",
+    "TraceLoad",
+    "VDCEnvironment",
+    "attach_random_loads",
+    "build_environment",
+    "diurnal_trace",
+]

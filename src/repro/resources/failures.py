@@ -1,0 +1,84 @@
+"""Failure injection.
+
+The Resource Controller detects node failures through the Group Manager's
+echo packets (paper section 2.3.1).  This module provides the faults to
+detect: scheduled crashes/recoveries and random crash processes.  A crash
+simply sets ``host.up = False`` — in-flight messages to the host are then
+dropped by the network layer and the host stops answering echoes, so
+detection latency is a real, measurable quantity (experiment F6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resources.host import Host
+from repro.simcore.engine import Environment
+from repro.simcore.trace import Tracer
+from repro.util.errors import ConfigurationError
+
+
+class FailureInjector:
+    """Schedules host crashes and recoveries on the simulated clock."""
+
+    def __init__(self, env: Environment, tracer: Tracer | None = None) -> None:
+        self.env = env
+        self.tracer = tracer or Tracer(enabled=False)
+        #: log of (time, host_address, event) tuples, event in {down, up}
+        self.log: list[tuple[float, str, str]] = []
+
+    def _set(self, host: Host, up: bool) -> None:
+        host.up = up
+        event = "up" if up else "down"
+        self.log.append((self.env.now, host.address, event))
+        self.tracer.record(self.env.now, f"failure:{event}", host.address)
+
+    def crash_at(self, host: Host, when: float,
+                 recover_after: float | None = None) -> None:
+        """Crash *host* at simulated time *when*; optionally recover later."""
+        if when < self.env.now:
+            raise ConfigurationError(
+                f"cannot schedule crash in the past ({when} < {self.env.now})")
+        if recover_after is not None and recover_after <= 0:
+            raise ConfigurationError("recover_after must be positive")
+
+        def proc(env):
+            yield env.timeout(when - env.now)
+            self._set(host, up=False)
+            if recover_after is not None:
+                yield env.timeout(recover_after)
+                self._set(host, up=True)
+
+        self.env.process(proc(self.env), name=f"crash:{host.address}")
+
+    def random_crashes(self, host: Host, rng: np.random.Generator,
+                       mtbf_s: float, mttr_s: float) -> None:
+        """Exponential mean-time-between-failures / mean-time-to-repair."""
+        if mtbf_s <= 0 or mttr_s <= 0:
+            raise ConfigurationError("MTBF and MTTR must be positive")
+
+        def proc(env):
+            while True:
+                yield env.timeout(float(rng.exponential(mtbf_s)))
+                self._set(host, up=False)
+                yield env.timeout(float(rng.exponential(mttr_s)))
+                self._set(host, up=True)
+
+        self.env.process(proc(self.env), name=f"mtbf:{host.address}")
+
+    def downtime(self, host_address: str, until: float | None = None) -> float:
+        """Total simulated seconds *host_address* spent down so far."""
+        horizon = self.env.now if until is None else until
+        total = 0.0
+        down_since: float | None = None
+        for when, addr, event in self.log:
+            if addr != host_address or when > horizon:
+                continue
+            if event == "down" and down_since is None:
+                down_since = when
+            elif event == "up" and down_since is not None:
+                total += when - down_since
+                down_since = None
+        if down_since is not None:
+            total += horizon - down_since
+        return total

@@ -1,0 +1,91 @@
+"""Ground-truth execution model of the simulated testbed.
+
+The real VDCE measured task times on real machines.  In the simulation,
+this model *is* the machine: it decides how long a task actually takes on
+a host.  Everything the scheduler believes comes instead from the
+repository (trial-run calibration + monitoring), so the gap between this
+model and the repository view is genuine, not circular.
+
+The model reproduces the paper's key empirical observation (section
+2.2.1, citing Yan & Zhang and Zaki et al.): *computing power is
+task-dependent* — "a processor may give the best execution time for a
+specific application, but it may give the worst time for another."  Each
+(task-library, architecture) pair has an affinity factor, plus a
+deterministic per-(task, host) jitter, on top of the host's general
+``cpu_factor``.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.resources.host import Host
+from repro.tasklib.base import TaskDefinition
+
+#: How well each architecture runs each library, relative to 1.0
+#: (< 1 faster, > 1 slower).  Chosen so that no architecture dominates:
+#: e.g. alpha is the best FPU (matrix) but mediocre on branchy C3I code.
+_AFFINITY: dict[tuple[str, str], float] = {
+    ("matrix-operations", "sparc"): 1.00,
+    ("matrix-operations", "x86"): 1.25,
+    ("matrix-operations", "alpha"): 0.70,
+    ("matrix-operations", "rs6000"): 0.85,
+    ("matrix-operations", "mips"): 1.10,
+    ("matrix-operations", "paragon"): 0.95,
+    ("fourier-analysis", "sparc"): 1.00,
+    ("fourier-analysis", "x86"): 0.90,
+    ("fourier-analysis", "alpha"): 0.85,
+    ("fourier-analysis", "rs6000"): 1.20,
+    ("fourier-analysis", "mips"): 0.95,
+    ("fourier-analysis", "paragon"): 1.05,
+    ("c3i", "sparc"): 1.00,
+    ("c3i", "x86"): 0.80,
+    ("c3i", "alpha"): 1.15,
+    ("c3i", "rs6000"): 0.95,
+    ("c3i", "mips"): 1.05,
+    ("c3i", "paragon"): 1.30,
+}
+
+
+class ExecutionModel:
+    """Deterministic ground truth for task durations on hosts."""
+
+    def __init__(self, jitter: float = 0.10, seed: int = 0) -> None:
+        """*jitter* is the amplitude of per-(task, host) deviation."""
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be within [0, 1)")
+        self.jitter = jitter
+        self.seed = seed
+
+    def affinity(self, library: str, arch: str) -> float:
+        return _AFFINITY.get((library, arch), 1.0)
+
+    def true_weight(self, definition: TaskDefinition, host: Host) -> float:
+        """Ground-truth computing-power weight of *host* for this task.
+
+        ``weight >= cpu_factor * affinity * (1 - jitter)`` and is stable
+        across runs: it is keyed on (seed, task name, host address).
+        """
+        base = host.spec.cpu_factor * self.affinity(definition.library,
+                                                    host.spec.arch)
+        key = f"{self.seed}:{definition.name}:{host.address}"
+        h = zlib.crc32(key.encode("utf-8")) / 0xFFFFFFFF  # [0, 1]
+        return base * (1.0 + self.jitter * (2.0 * h - 1.0))
+
+    def dedicated_duration(self, definition: TaskDefinition,
+                           input_size: float, host: Host,
+                           processors: int = 1) -> float:
+        """Execution time on *host* with no competing load."""
+        return definition.base_execution_time(
+            input_size, processors=processors) * self.true_weight(
+                definition, host)
+
+    def duration(self, definition: TaskDefinition, input_size: float,
+                 host: Host, processors: int = 1) -> float:
+        """Actual execution time including the host's current time-sharing
+        slowdown and memory pressure (sampled at start; the executor may
+        re-sample for long tasks)."""
+        memory = definition.memory_required_mb(input_size)
+        return self.dedicated_duration(
+            definition, input_size, host, processors) * host.slowdown(
+                extra_memory_mb=memory)

@@ -1,0 +1,128 @@
+"""Hosts: the machines making up a VDCE site.
+
+A host has the *static attributes* the paper stores once in the
+resource-performance database (host name, IP, architecture type, OS type,
+total memory) and the *dynamic state* the Monitor daemons sample
+periodically (CPU load, available memory), plus up/down status maintained
+by the Group Manager's echo packets.
+
+``cpu_factor`` is the host's general relative speed (base processor =
+1.0; larger is slower).  Per-task heterogeneity beyond this general
+factor — the paper's observation, via [16, 17], that "a processor may
+give the best execution time for a specific application but the worst for
+another" — lives in the task-performance database's computing-power
+weights, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigurationError
+
+#: Architectures and operating systems of the paper's era; purely
+#: descriptive labels used for machine-type preferences and data
+#: conversion decisions.
+ARCHITECTURES = ("sparc", "x86", "alpha", "rs6000", "mips", "paragon")
+OPERATING_SYSTEMS = ("solaris", "sunos", "linux", "osf1", "aix", "irix")
+BYTE_ORDERS = {"sparc": "big", "x86": "little", "alpha": "little",
+               "rs6000": "big", "mips": "big", "paragon": "little"}
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of a machine (the repository's static attributes)."""
+
+    name: str
+    arch: str = "sparc"
+    os: str = "solaris"
+    cpu_factor: float = 1.0
+    memory_mb: float = 128.0
+    group: str = "group-0"
+    ip: str = "0.0.0.0"
+
+    def __post_init__(self) -> None:
+        if self.arch not in ARCHITECTURES:
+            raise ConfigurationError(
+                f"unknown architecture {self.arch!r}; "
+                f"expected one of {ARCHITECTURES}")
+        if self.os not in OPERATING_SYSTEMS:
+            raise ConfigurationError(
+                f"unknown OS {self.os!r}; expected one of {OPERATING_SYSTEMS}")
+        if self.cpu_factor <= 0:
+            raise ConfigurationError("cpu_factor must be positive")
+        if self.memory_mb <= 0:
+            raise ConfigurationError("memory_mb must be positive")
+
+    @property
+    def byte_order(self) -> str:
+        return BYTE_ORDERS[self.arch]
+
+
+@dataclass
+class Host:
+    """A live machine: static spec plus mutable runtime state."""
+
+    spec: HostSpec
+    site: str
+    true_load: float = 0.0       # ground-truth background CPU load (>= 0)
+    memory_used_mb: float = 0.0  # ground-truth memory pressure
+    up: bool = True
+    running_tasks: int = 0
+    _task_load: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if "/" in self.spec.name:
+            raise ConfigurationError(
+                f"host name {self.spec.name!r} may not contain '/'")
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def address(self) -> str:
+        """Network address ``site/host``."""
+        return f"{self.site}/{self.spec.name}"
+
+    # -- dynamic attributes (what a Monitor daemon samples) ---------------
+    @property
+    def cpu_load(self) -> float:
+        """Instantaneous total CPU load: background + VDCE task load."""
+        return self.true_load + self._task_load
+
+    @property
+    def memory_available_mb(self) -> float:
+        return max(0.0, self.spec.memory_mb - self.memory_used_mb)
+
+    # -- execution accounting ----------------------------------------------
+    def task_started(self, load: float = 1.0, memory_mb: float = 0.0) -> None:
+        """Record a VDCE task beginning execution on this host."""
+        self.running_tasks += 1
+        self._task_load += load
+        self.memory_used_mb += memory_mb
+
+    def task_finished(self, load: float = 1.0, memory_mb: float = 0.0) -> None:
+        if self.running_tasks <= 0:
+            raise ConfigurationError(
+                f"task_finished() on {self.name} with no running task")
+        self.running_tasks -= 1
+        self._task_load = max(0.0, self._task_load - load)
+        self.memory_used_mb = max(0.0, self.memory_used_mb - memory_mb)
+
+    # -- ground-truth slowdown model ---------------------------------------
+    def slowdown(self, extra_memory_mb: float = 0.0) -> float:
+        """Multiplicative execution-time factor from time-sharing.
+
+        A dedicated machine has slowdown 1.0.  Each unit of competing CPU
+        load stretches execution proportionally (round-robin
+        time-sharing); overflowing physical memory causes a steep paging
+        penalty.  This is the *ground truth* the simulator uses; the
+        scheduler only sees the repository's (possibly stale) view.
+        """
+        factor = 1.0 + max(0.0, self.cpu_load)
+        overflow = (self.memory_used_mb + extra_memory_mb) - self.spec.memory_mb
+        if overflow > 0:
+            factor *= 1.0 + 4.0 * overflow / self.spec.memory_mb
+        return factor

@@ -1,0 +1,196 @@
+"""Background time-sharing load models.
+
+The paper's hosts are *non-dedicated*: other users' processes share the
+CPU, which is why the scheduler needs up-to-date load measurements and
+forecasting.  These simulated load processes mutate ``host.true_load``
+over time so monitors have something real to sample and predictions have
+something real to be wrong about.
+
+Three models, all running as simcore processes:
+
+* :class:`RandomWalkLoad` — mean-reverting random walk (Ornstein-
+  Uhlenbeck-like), the classic "Unix load average" shape.
+* :class:`OnOffLoad` — bursty interactive users: exponential on/off
+  periods with a fixed load while on.
+* :class:`SpikeLoad` — scheduled load spikes, used by the rescheduling
+  experiment (A2) to trigger the Application Controller's overload path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resources.host import Host
+from repro.simcore.engine import Environment
+from repro.util.errors import ConfigurationError
+
+
+class LoadModel:
+    """Base class: attaches a load process to a host."""
+
+    def __init__(self, env: Environment, host: Host,
+                 rng: np.random.Generator, interval_s: float = 1.0) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError("load update interval must be positive")
+        self.env = env
+        self.host = host
+        self.rng = rng
+        self.interval_s = interval_s
+        self.process = env.process(self._run(), name=f"load:{host.address}")
+
+    def _run(self):
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Halt this load model's process."""
+        if self.process.is_alive:
+            self.process.interrupt("stop")
+
+
+class RandomWalkLoad(LoadModel):
+    """Mean-reverting random walk: ``L += theta*(mu - L) + sigma*N(0,1)``."""
+
+    def __init__(self, env: Environment, host: Host,
+                 rng: np.random.Generator, mean: float = 0.5,
+                 reversion: float = 0.2, volatility: float = 0.15,
+                 interval_s: float = 1.0) -> None:
+        if mean < 0:
+            raise ConfigurationError("mean load must be >= 0")
+        if not 0 < reversion <= 1:
+            raise ConfigurationError("reversion must be in (0, 1]")
+        self.mean = mean
+        self.reversion = reversion
+        self.volatility = volatility
+        super().__init__(env, host, rng, interval_s)
+
+    def _run(self):
+        self.host.true_load = max(0.0, self.mean
+                                  + self.volatility * self.rng.standard_normal())
+        while True:
+            yield self.env.timeout(self.interval_s)
+            load = self.host.true_load
+            load += self.reversion * (self.mean - load)
+            load += self.volatility * self.rng.standard_normal()
+            self.host.true_load = max(0.0, load)
+
+
+class OnOffLoad(LoadModel):
+    """Bursty load: exponential off periods, exponential on periods."""
+
+    def __init__(self, env: Environment, host: Host,
+                 rng: np.random.Generator, on_load: float = 1.0,
+                 mean_on_s: float = 20.0, mean_off_s: float = 40.0) -> None:
+        if on_load < 0:
+            raise ConfigurationError("on_load must be >= 0")
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ConfigurationError("on/off period means must be positive")
+        self.on_load = on_load
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        super().__init__(env, host, rng, interval_s=1.0)
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(float(self.rng.exponential(self.mean_off_s)))
+            self.host.true_load += self.on_load
+            yield self.env.timeout(float(self.rng.exponential(self.mean_on_s)))
+            self.host.true_load = max(0.0, self.host.true_load - self.on_load)
+
+
+class SpikeLoad(LoadModel):
+    """Deterministic load spikes: ``[(start_s, duration_s, extra_load)]``."""
+
+    def __init__(self, env: Environment, host: Host,
+                 spikes: list[tuple[float, float, float]]) -> None:
+        for start, duration, extra in spikes:
+            if start < 0 or duration <= 0 or extra < 0:
+                raise ConfigurationError(f"invalid spike {(start, duration, extra)}")
+        self.spikes = sorted(spikes)
+        super().__init__(env, host, rng=np.random.default_rng(0), interval_s=1.0)
+
+    def _run(self):
+        now = 0.0
+        for start, duration, extra in self.spikes:
+            if start > now:
+                yield self.env.timeout(start - now)
+                now = start
+            self.host.true_load += extra
+            yield self.env.timeout(duration)
+            now += duration
+            self.host.true_load = max(0.0, self.host.true_load - extra)
+
+
+class TraceLoad(LoadModel):
+    """Replay a recorded load trace: ``[(time_s, load), ...]``.
+
+    Points must be time-sorted; the load holds its last value between
+    points, and the trace optionally loops (``repeat=True``) so long
+    simulations keep realistic structure.
+    """
+
+    def __init__(self, env: Environment, host: Host,
+                 trace: list[tuple[float, float]],
+                 repeat: bool = False) -> None:
+        if not trace:
+            raise ConfigurationError("trace may not be empty")
+        times = [t for t, _v in trace]
+        if times != sorted(times):
+            raise ConfigurationError("trace must be time-sorted")
+        if any(v < 0 for _t, v in trace):
+            raise ConfigurationError("trace loads must be >= 0")
+        self.trace = list(trace)
+        self.repeat = repeat
+        super().__init__(env, host, rng=np.random.default_rng(0),
+                         interval_s=1.0)
+
+    def _run(self):
+        while True:
+            prev_t = 0.0
+            for t, load in self.trace:
+                if t > prev_t:
+                    yield self.env.timeout(t - prev_t)
+                    prev_t = t
+                self.host.true_load = load
+            if not self.repeat:
+                return
+            # hold the final value for one inter-sample gap, then loop
+            gap = self.trace[-1][0] - self.trace[0][0]
+            yield self.env.timeout(max(gap / max(len(self.trace) - 1, 1),
+                                       1e-6))
+
+
+def diurnal_trace(peak_load: float = 1.5, base_load: float = 0.1,
+                  day_s: float = 3600.0, samples: int = 48,
+                  phase: float = 0.0,
+                  rng: np.random.Generator | None = None,
+                  noise: float = 0.05) -> list[tuple[float, float]]:
+    """A synthetic daily usage pattern (one 'day' compressed to *day_s*).
+
+    Sinusoidal busy-hours bulge plus optional noise — the load shape a
+    campus workstation showed in 1997 traces.
+    """
+    if peak_load < base_load:
+        raise ConfigurationError("peak_load must be >= base_load")
+    rng = rng or np.random.default_rng(0)
+    out = []
+    for i in range(samples):
+        t = day_s * i / samples
+        cycle = 0.5 * (1.0 - np.cos(2 * np.pi * (i / samples) + phase))
+        load = base_load + (peak_load - base_load) * cycle
+        if noise:
+            load += noise * float(rng.standard_normal())
+        out.append((t, max(0.0, float(load))))
+    return out
+
+
+def attach_random_loads(env: Environment, hosts: list[Host],
+                        rng: np.random.Generator,
+                        mean_range: tuple[float, float] = (0.1, 1.0),
+                        interval_s: float = 1.0) -> list[RandomWalkLoad]:
+    """Give every host a random-walk load with a host-specific mean."""
+    models = []
+    for host in hosts:
+        mean = float(rng.uniform(*mean_range))
+        models.append(RandomWalkLoad(env, host, rng, mean=mean,
+                                     interval_s=interval_s))
+    return models

@@ -1,0 +1,192 @@
+"""Sites and the whole virtual environment.
+
+A :class:`Site` owns hosts organised into groups (each with a leader
+running the Group Manager) and a VDCE server machine that runs the Site
+Manager and Application Scheduler (paper Figure 1).  A
+:class:`VDCEnvironment` aggregates the sites, the simulated network, the
+clock and the seeded RNG registry — it is the root object benchmarks and
+examples construct first.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.net.network import Network
+from repro.net.topology import LinkSpec, Topology
+from repro.resources.host import Host, HostSpec
+from repro.simcore.engine import Environment
+from repro.simcore.trace import Tracer
+from repro.util.errors import ConfigurationError, NotRegisteredError
+from repro.util.rng import RngRegistry
+
+
+class Site:
+    """One geographic computation site: hosts, groups, a server."""
+
+    def __init__(self, name: str) -> None:
+        if "/" in name or not name:
+            raise ConfigurationError(f"invalid site name {name!r}")
+        self.name = name
+        self.hosts: dict[str, Host] = {}
+        self._groups: dict[str, list[str]] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_host(self, spec: HostSpec) -> Host:
+        """Register a machine at this site."""
+        if spec.name in self.hosts:
+            raise ConfigurationError(
+                f"host {spec.name!r} already exists at site {self.name!r}")
+        host = Host(spec=spec, site=self.name)
+        self.hosts[spec.name] = host
+        self._groups.setdefault(spec.group, []).append(spec.name)
+        return host
+
+    def remove_host(self, name: str) -> Host:
+        """Remove a host (paper: 'whenever a resource is added or removed')."""
+        host = self.host(name)
+        del self.hosts[name]
+        members = self._groups[host.spec.group]
+        members.remove(name)
+        if not members:
+            del self._groups[host.spec.group]
+        return host
+
+    # -- queries --------------------------------------------------------------
+    def host(self, name: str) -> Host:
+        """Fetch a host by bare name."""
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise NotRegisteredError(
+                f"no host {name!r} at site {self.name!r}") from None
+
+    @property
+    def groups(self) -> dict[str, list[str]]:
+        return {g: list(members) for g, members in self._groups.items()}
+
+    def group_of(self, host_name: str) -> str:
+        """The group a host belongs to."""
+        return self.host(host_name).spec.group
+
+    def group_leader(self, group: str) -> str:
+        """The group leader machine: deterministically the first member."""
+        try:
+            members = self._groups[group]
+        except KeyError:
+            raise NotRegisteredError(
+                f"no group {group!r} at site {self.name!r}") from None
+        return sorted(members)[0]
+
+    @property
+    def server_address(self) -> str:
+        """Address of the VDCE server machine (Site Manager endpoint)."""
+        return f"{self.name}/server"
+
+    def scheduler_address(self) -> str:
+        return f"{self.name}/server/scheduler"
+
+    def up_hosts(self) -> list[Host]:
+        """Hosts currently up (ground truth, not the repository view)."""
+        return [h for h in self.hosts.values() if h.up]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Site({self.name!r}, hosts={len(self.hosts)}, "
+                f"groups={len(self._groups)})")
+
+
+class VDCEnvironment:
+    """The whole virtual distributed computing environment.
+
+    Owns the simulation clock, the topology/network, the RNG registry and
+    every site.  Construction order: create the environment, add sites,
+    connect them, add hosts; daemons (monitors, managers) are attached by
+    :mod:`repro.runtime` and the facade in :mod:`repro.core`.
+    """
+
+    def __init__(self, seed: int = 0, lan: LinkSpec | None = None,
+                 trace: bool = True) -> None:
+        self.env = Environment()
+        self.tracer = Tracer(enabled=trace)
+        self.topology = Topology() if lan is None else Topology(lan=lan)
+        self.network = Network(self.env, self.topology, tracer=self.tracer)
+        self.rng = RngRegistry(seed)
+        self.sites: dict[str, Site] = {}
+        self.network.is_up = self._host_is_up
+
+    # -- construction -------------------------------------------------------
+    def add_site(self, name: str, lan: LinkSpec | None = None) -> Site:
+        """Create a site and register it in the topology."""
+        if name in self.sites:
+            raise ConfigurationError(f"site {name!r} already exists")
+        self.topology.add_site(name, lan=lan)
+        site = Site(name)
+        self.sites[name] = site
+        return site
+
+    def connect_sites(self, a: str, b: str, link: LinkSpec) -> None:
+        """Add a WAN link between two sites."""
+        self.topology.connect(a, b, link)
+
+    def add_host(self, site_name: str, spec: HostSpec) -> Host:
+        """Register a machine at one of the environment's sites."""
+        return self.site(site_name).add_host(spec)
+
+    # -- queries --------------------------------------------------------------
+    def site(self, name: str) -> Site:
+        """Fetch a site by name."""
+        try:
+            return self.sites[name]
+        except KeyError:
+            raise NotRegisteredError(f"no site {name!r}") from None
+
+    def host(self, address_or_site: str, name: str | None = None) -> Host:
+        """Fetch a host by ``site/name`` address or by (site, name) pair."""
+        if name is None:
+            site_name, _, host_name = address_or_site.partition("/")
+            if not host_name:
+                raise NotRegisteredError(
+                    f"{address_or_site!r} is not a host address")
+        else:
+            site_name, host_name = address_or_site, name
+        return self.site(site_name).host(host_name)
+
+    def all_hosts(self) -> list[Host]:
+        """Every host across every site."""
+        return [h for s in self.sites.values() for h in s.hosts.values()]
+
+    def _host_is_up(self, host_addr: str) -> bool:
+        """Network up/down predicate; server endpoints are always up."""
+        site_name, _, host_name = host_addr.partition("/")
+        if not host_name or host_name == "server":
+            return True
+        site = self.sites.get(site_name)
+        if site is None:
+            return True
+        host = site.hosts.get(host_name)
+        return host.up if host is not None else True
+
+    # -- convenience ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def run(self, until=None):
+        return self.env.run(until=until)
+
+
+def build_environment(
+    site_hosts: dict[str, Iterable[HostSpec]],
+    wan_links: Iterable[tuple[str, str, LinkSpec]],
+    seed: int = 0,
+    trace: bool = True,
+) -> VDCEnvironment:
+    """Declarative constructor used by tests and workload generators."""
+    vdce = VDCEnvironment(seed=seed, trace=trace)
+    for site_name, specs in site_hosts.items():
+        vdce.add_site(site_name)
+        for spec in specs:
+            vdce.add_host(site_name, spec)
+    for a, b, link in wan_links:
+        vdce.connect_sites(a, b, link)
+    return vdce

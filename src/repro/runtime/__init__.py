@@ -1,0 +1,29 @@
+"""The VDCE Runtime System: Control Manager + Data Manager + services."""
+
+from repro.runtime.control import (
+    ApplicationController,
+    ChangeFilter,
+    GroupManager,
+    MonitorDaemon,
+    SiteManager,
+)
+from repro.runtime.data import ChannelSpec, DataManager, MessageCodec, SharedMemory
+from repro.runtime.local import LocalResult, LocalRunner, run_local
+from repro.runtime.services import ConsoleService, IOService
+
+__all__ = [
+    "ApplicationController",
+    "ChangeFilter",
+    "ChannelSpec",
+    "ConsoleService",
+    "DataManager",
+    "GroupManager",
+    "IOService",
+    "LocalResult",
+    "LocalRunner",
+    "MessageCodec",
+    "MonitorDaemon",
+    "SharedMemory",
+    "SiteManager",
+    "run_local",
+]

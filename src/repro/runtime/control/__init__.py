@@ -1,0 +1,36 @@
+"""The Control Manager: Resource Controller + Application Controller."""
+
+from repro.runtime.control.app_controller import (
+    PARALLEL_OCCUPY,
+    ApplicationController,
+    ControllerStats,
+)
+from repro.runtime.control.change_filter import POLICIES, ChangeFilter
+from repro.runtime.control.group_manager import (
+    HOST_UP,
+    GroupManager,
+    GroupManagerStats,
+)
+from repro.runtime.control.monitor import MonitorDaemon
+from repro.runtime.control.site_manager import (
+    APP_COMPLETED,
+    TASK_COMPLETED,
+    ExecutionState,
+    SiteManager,
+)
+
+__all__ = [
+    "APP_COMPLETED",
+    "ApplicationController",
+    "ChangeFilter",
+    "ControllerStats",
+    "ExecutionState",
+    "GroupManager",
+    "GroupManagerStats",
+    "HOST_UP",
+    "MonitorDaemon",
+    "PARALLEL_OCCUPY",
+    "POLICIES",
+    "SiteManager",
+    "TASK_COMPLETED",
+]

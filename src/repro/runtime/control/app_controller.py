@@ -1,0 +1,308 @@
+"""The Application Controller: one per VDCE machine.
+
+Paper section 2.3.1: "The execution environment setup and management
+services are provided by the Application Controller by interacting with
+the Data Manager."  On receiving an execution request from its Group
+Manager it activates the Data Manager (channel endpoints + setup
+handshakes), forwards the acknowledgment toward the Site Manager, waits
+for the execution startup signal, runs its assigned tasks, and reports
+completions.
+
+It also *manages* the execution: "If the current load on any of these
+machines is more than a predefined threshold value, the Application
+Controller terminates the task execution on the machine and sends a task
+rescheduling request to the Group Manager."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net import (
+    CHANNEL_ACK,
+    EXECUTION_REQUEST,
+    RESCHEDULE_REQUEST,
+    START_SIGNAL,
+)
+from repro.net.network import Network
+from repro.resources.groundtruth import ExecutionModel
+from repro.resources.host import Host
+from repro.runtime.control.site_manager import TASK_COMPLETED
+from repro.runtime.data.data_manager import ChannelSpec, DataManager
+from repro.scheduling.rescheduling import ReschedulePolicy
+from repro.simcore.engine import Environment, Interrupt
+from repro.simcore.trace import Tracer
+from repro.tasklib.registry import LibraryRegistry
+from repro.util.errors import ExecutionError
+
+PARALLEL_OCCUPY = "parallel-occupy"
+
+
+@dataclass
+class ControllerStats:
+    tasks_executed: int = 0
+    tasks_rescheduled_away: int = 0
+    overload_terminations: int = 0
+    executions_seen: set = field(default_factory=set)
+
+
+class ApplicationController:
+    """Per-host execution-environment setup and task management."""
+
+    SERVICE = "appctl"
+
+    def __init__(self, env: Environment, network: Network, host: Host,
+                 registry: LibraryRegistry, model: ExecutionModel,
+                 data_manager: DataManager,
+                 group_manager_addr: str,
+                 policy: ReschedulePolicy | None = None,
+                 monitor_interval_s: float = 1.0,
+                 tracer: Tracer | None = None) -> None:
+        self.env = env
+        self.network = network
+        self.host = host
+        self.registry = registry
+        self.model = model
+        self.data_manager = data_manager
+        self.group_manager_addr = group_manager_addr
+        self.policy = policy or ReschedulePolicy()
+        self.monitor_interval_s = monitor_interval_s
+        self.tracer = tracer or Tracer(enabled=False)
+        self.address = f"{host.address}/{self.SERVICE}"
+        self.mailbox = network.register(self.address)
+        self.stats = ControllerStats()
+        self._start_events: dict[str, Any] = {}
+        self._inbox_proc = env.process(self._inbox_loop(),
+                                       name=f"ac:{self.address}")
+
+    # -- inbox ----------------------------------------------------------
+    def _inbox_loop(self):
+        while True:
+            msg = yield self.mailbox.get()
+            if msg.kind == EXECUTION_REQUEST:
+                self.env.process(self._handle_execution(msg.payload),
+                                 name=f"ac-exec:{self.address}")
+            elif msg.kind == START_SIGNAL:
+                ev = self._start_events.get(msg.payload["execution_id"])
+                if ev is not None and not ev.triggered:
+                    ev.succeed()
+            elif msg.kind == PARALLEL_OCCUPY:
+                self.env.process(self._occupy(msg.payload),
+                                 name=f"ac-occupy:{self.address}")
+
+    # -- execution environment setup (Figure 7 steps 1-4) ----------------------
+    def _handle_execution(self, payload: dict):
+        execution_id = payload["execution_id"]
+        coordinator = payload["coordinator"]
+        self.stats.executions_seen.add(execution_id)
+        if payload.get("immediate"):
+            # Rescheduled task: inputs travel with the request, the
+            # execution is already under way — no setup, no start signal.
+            procs = [self.env.process(
+                self._run_task(execution_id, coordinator, entry),
+                name=f"retask:{entry['node_id']}@{self.host.address}")
+                for entry in payload["entries"]
+                if entry["hosts"][0] == self.host.address]
+            if procs:
+                yield self.env.all_of(procs)
+            return
+        my_entries = [e for e in payload["entries"]
+                      if e["hosts"][0] == self.host.address]
+        participant_entries = [e for e in payload["entries"]
+                               if e["hosts"][0] != self.host.address]
+        # 1-2. activate the Data Manager: open receive endpoints for my
+        # tasks' inputs, then handshake outgoing cross-host channels.
+        out_specs: list[ChannelSpec] = []
+        for entry in my_entries:
+            for link in entry["in_links"]:
+                spec = self._in_spec(execution_id, entry, link)
+                self.data_manager.open_endpoint(spec)
+            for link in entry["out_links"]:
+                out_specs.append(self._out_spec(execution_id, entry, link))
+        yield self.env.process(self.data_manager.setup_channels(out_specs))
+        # 3-4. forward the acknowledgment toward the Site Manager.
+        self.network.send(self.address, coordinator, CHANNEL_ACK,
+                          payload={"execution_id": execution_id,
+                                   "host": self.host.address},
+                          size_bytes=48)
+        start = self._start_events.setdefault(execution_id,
+                                              self.env.event())
+        yield start
+        # 5. run my tasks (each as its own process so independent tasks
+        # interleave exactly as separate processes would on the machine).
+        procs = [self.env.process(
+            self._run_task(execution_id, coordinator, entry),
+            name=f"task:{entry['node_id']}@{self.host.address}")
+            for entry in my_entries]
+        if procs:
+            yield self.env.all_of(procs)
+        # participant entries occupy this host when the primary signals;
+        # nothing to do here (handled by PARALLEL_OCCUPY messages).
+        _ = participant_entries
+
+    def _in_spec(self, execution_id: str, entry: dict,
+                 link: dict) -> ChannelSpec:
+        return ChannelSpec(
+            execution_id=execution_id,
+            src_node=link["src_node"], src_port=link["src_port"],
+            src_host=link["src_host"],
+            dst_node=entry["node_id"], dst_port=link["dst_port"],
+            dst_host=self.host.address)
+
+    def _out_spec(self, execution_id: str, entry: dict,
+                  link: dict) -> ChannelSpec:
+        return ChannelSpec(
+            execution_id=execution_id,
+            src_node=entry["node_id"], src_port=link["src_port"],
+            src_host=self.host.address,
+            dst_node=link["dst_node"], dst_port=link["dst_port"],
+            dst_host=link["dst_host"])
+
+    # -- task execution --------------------------------------------------------
+    def _run_task(self, execution_id: str, coordinator: str, entry: dict):
+        node_id = entry["node_id"]
+        definition = self.registry.resolve(entry["task_name"])
+        input_size = entry["input_size"]
+        processors = entry.get("processors", 1)
+        # gather every input port (values may be None in simulation-only
+        # mode, or forwarded wholesale when the task was rescheduled)
+        if "forward_inputs" in entry:
+            inputs: dict[str, Any] = dict(entry["forward_inputs"])
+        else:
+            inputs = {}
+            for link in entry["in_links"]:
+                payload = yield self.data_manager.receive(
+                    execution_id, node_id, link["dst_port"])
+                inputs[link["dst_port"]] = payload["value"]
+        if not self.host.up:
+            return  # a crashed host silently does nothing
+        # overload check before starting (QoS management); the per-
+        # application QoS ceiling overrides the site-wide policy; a
+        # forced rescheduled task (attempts exhausted) runs regardless
+        qos_ceiling = entry.get("max_host_load")
+        overloaded = ((lambda load: load > qos_ceiling)
+                      if qos_ceiling is not None
+                      else self.policy.should_reschedule)
+        if not entry.get("forced") and overloaded(self.host.cpu_load):
+            self._request_reschedule(execution_id, entry, inputs,
+                                     reason="overload-before-start")
+            return
+        memory = definition.memory_required_mb(input_size)
+        duration = self.model.duration(definition, input_size, self.host,
+                                       processors=processors)
+        slowdown_at_start = self.host.slowdown(extra_memory_mb=memory)
+        self.host.task_started(load=1.0, memory_mb=memory)
+        self._occupy_participants(entry, duration)
+        self.tracer.record(self.env.now, "task-start", self.host.address,
+                           node=node_id, duration=duration,
+                           execution=execution_id)
+        started = self.env.now
+        task_proc = self.env.active_process
+        watcher = self.env.process(
+            self._overload_watch(task_proc, overloaded),
+            name=f"watch:{node_id}")
+        try:
+            yield self.env.timeout(duration)
+        except Interrupt as interrupt:
+            # terminated by the overload watcher (or a failure handler)
+            self.host.task_finished(load=1.0, memory_mb=memory)
+            self.stats.overload_terminations += 1
+            self.tracer.record(self.env.now, "task-terminated",
+                               self.host.address, node=node_id,
+                               cause=str(interrupt.cause))
+            self._request_reschedule(execution_id, entry, inputs,
+                                     reason=str(interrupt.cause))
+            return
+        finally:
+            if watcher.is_alive:
+                watcher.interrupt("task-done")
+        self.host.task_finished(load=1.0, memory_mb=memory)
+        elapsed = self.env.now - started
+        outputs = self._compute_outputs(definition, inputs, entry)
+        # ship outputs along every outgoing channel
+        for link in entry["out_links"]:
+            spec = self._out_spec(execution_id, entry, link)
+            value = outputs.get(link["src_port"])
+            yield self.env.process(self.data_manager.send_output(
+                spec, value, link["size_bytes"]))
+        self.stats.tasks_executed += 1
+        self.tracer.record(self.env.now, "task-finish", self.host.address,
+                           node=node_id, elapsed=elapsed,
+                           execution=execution_id)
+        report = {
+            "execution_id": execution_id, "node_id": node_id,
+            "task_name": entry["task_name"], "host": self.host.address,
+            "input_size": input_size, "elapsed_s": elapsed,
+            "dedicated_elapsed_s": elapsed / max(slowdown_at_start, 1e-12),
+            "base_time_at_size_s": definition.base_execution_time(
+                input_size, processors=processors),
+            "started_s": started,
+        }
+        if entry.get("is_exit", False):
+            report["outputs"] = outputs
+        self.network.send(self.address, coordinator, TASK_COMPLETED,
+                          payload=report, size_bytes=128)
+
+    def _compute_outputs(self, definition, inputs: dict,
+                         entry: dict) -> dict:
+        """Real results when the implementation and all values exist."""
+        expected = set(definition.signature.inputs)
+        have_all = expected == set(inputs) and \
+            all(v is not None for v in inputs.values())
+        if definition.executable and have_all:
+            try:
+                return definition.execute(inputs, entry.get("params") or {})
+            except ExecutionError:
+                # numeric failure: propagate Nones downstream; the paper's
+                # runtime "intercepts the error messages generated"
+                self.tracer.record(self.env.now, "task-numeric-error",
+                                   self.host.address, node=entry["node_id"])
+        return {port: None for port in definition.signature.outputs}
+
+    # -- parallel participants -----------------------------------------------
+    def _occupy_participants(self, entry: dict, duration: float) -> None:
+        for participant in entry["hosts"][1:]:
+            self.network.send(self.address, f"{participant}/{self.SERVICE}",
+                              PARALLEL_OCCUPY,
+                              payload={"duration": duration,
+                                       "node_id": entry["node_id"]},
+                              size_bytes=48)
+
+    def _occupy(self, payload: dict):
+        """Hold this machine busy as a parallel-task participant."""
+        self.host.task_started(load=1.0)
+        yield self.env.timeout(payload["duration"])
+        self.host.task_finished(load=1.0)
+
+    # -- overload monitoring + rescheduling ------------------------------------
+    def _overload_watch(self, task_proc, overloaded=None):
+        """Interrupt the running task when load crosses the threshold.
+
+        Only the *background* load counts — the task's own contribution
+        must not trigger its own termination.
+        """
+        if overloaded is None:
+            overloaded = self.policy.should_reschedule
+        while True:
+            yield self.env.timeout(self.monitor_interval_s)
+            if not task_proc.is_alive:
+                return
+            if overloaded(self.host.true_load):
+                task_proc.interrupt("overload")
+                return
+
+    def _request_reschedule(self, execution_id: str, entry: dict,
+                            inputs: dict, reason: str) -> None:
+        self.stats.tasks_rescheduled_away += 1
+        self.network.send(
+            self.address, self.group_manager_addr, RESCHEDULE_REQUEST,
+            payload={"execution_id": execution_id, "entry": entry,
+                     "host": self.host.address, "reason": reason,
+                     "inputs": inputs, "time": self.env.now},
+            size_bytes=128)
+
+    def stop(self) -> None:
+        """Terminate the controller's inbox process (teardown)."""
+        if self._inbox_proc.is_alive:
+            self._inbox_proc.interrupt("stop")

@@ -1,0 +1,77 @@
+"""The per-host Monitor daemon.
+
+Paper section 2.3.1: "Each VDCE machine has a Monitor daemon that
+periodically measures the up-to-date processor parameters, i.e., CPU load
+and memory availability.  The measured values are sent to the group
+leader machine."
+
+The daemon also answers the Group Manager's echo packets; a crashed host
+(``host.up == False``) answers nothing — the network layer drops both
+directions — which is precisely how failures become detectable.
+"""
+
+from __future__ import annotations
+
+from repro.net import ECHO_REPLY, ECHO_REQUEST, LOAD_REPORT
+from repro.net.network import Network
+from repro.resources.host import Host
+from repro.simcore.engine import Environment
+from repro.util.errors import ConfigurationError
+
+
+class MonitorDaemon:
+    """Periodic load/memory sampling + echo response, one per host."""
+
+    SERVICE = "monitor"
+
+    def __init__(self, env: Environment, network: Network, host: Host,
+                 group_leader_addr: str, period_s: float = 2.0) -> None:
+        if period_s <= 0:
+            raise ConfigurationError("monitor period must be positive")
+        self.env = env
+        self.network = network
+        self.host = host
+        self.group_leader_addr = group_leader_addr
+        self.period_s = period_s
+        self.address = f"{host.address}/{self.SERVICE}"
+        self.mailbox = network.register(self.address)
+        self.reports_sent = 0
+        self._sampler = env.process(self._sample_loop(), name=f"mon:{host.name}")
+        self._responder = env.process(self._respond_loop(),
+                                      name=f"mon-echo:{host.name}")
+
+    # -- measurement ---------------------------------------------------------
+    def measure(self) -> dict:
+        """One sample of the host's dynamic attributes."""
+        return {
+            "host": self.host.address,
+            "cpu_load": self.host.cpu_load,
+            "available_memory_mb": self.host.memory_available_mb,
+            "time": self.env.now,
+        }
+
+    def _sample_loop(self):
+        while True:
+            yield self.env.timeout(self.period_s)
+            if not self.host.up:
+                continue  # a down host measures nothing
+            self.network.send(self.address, self.group_leader_addr,
+                              LOAD_REPORT, payload=self.measure(),
+                              size_bytes=64)
+            self.reports_sent += 1
+
+    # -- echo ---------------------------------------------------------------
+    def _respond_loop(self):
+        while True:
+            msg = yield self.mailbox.get()
+            if msg.kind == ECHO_REQUEST and self.host.up:
+                self.network.send(self.address, msg.src, ECHO_REPLY,
+                                  payload={"host": self.host.address,
+                                           "echo_seq": msg.payload},
+                                  size_bytes=32)
+
+    def stop(self) -> None:
+        """Terminate the daemon's processes (simulation teardown)."""
+        for proc in (self._sampler, self._responder):
+            if proc.is_alive:
+                proc.interrupt("stop")

@@ -1,0 +1,45 @@
+"""The Data Manager: channels, proxies, conversion, messaging dialects,
+the real TCP backend, and the DSM extension."""
+
+from repro.runtime.data.conversion import (
+    CONVERSION_BYTES_PER_S,
+    conversion_cost_s,
+    conversion_needed,
+    convert,
+)
+from repro.runtime.data.data_manager import (
+    ChannelSpec,
+    DataManager,
+    DataManagerStats,
+    channel_key,
+)
+from repro.runtime.data.dsm import DSMStats, SharedMemory
+from repro.runtime.data.messaging import (
+    DIALECTS,
+    Dialect,
+    MessageCodec,
+    get_dialect,
+    translate,
+)
+from repro.runtime.data.realsock import FrameStream, RealEndpoint, RealProxy
+
+__all__ = [
+    "CONVERSION_BYTES_PER_S",
+    "ChannelSpec",
+    "DIALECTS",
+    "DSMStats",
+    "DataManager",
+    "DataManagerStats",
+    "Dialect",
+    "FrameStream",
+    "MessageCodec",
+    "RealEndpoint",
+    "RealProxy",
+    "SharedMemory",
+    "channel_key",
+    "conversion_cost_s",
+    "conversion_needed",
+    "convert",
+    "get_dialect",
+    "translate",
+]

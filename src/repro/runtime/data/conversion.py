@@ -1,0 +1,57 @@
+"""Data conversion for heterogeneous machines.
+
+Paper section 2.3.2: "the VDCE Runtime System provides data conversions
+that might be needed when an application execution environment includes
+heterogeneous machines."  The classic case is byte order: a big-endian
+SPARC shipping doubles to a little-endian Alpha.  Conversion really
+happens (NumPy byte-swap) and costs modelled time proportional to the
+payload size, so experiment F7 can measure the heterogeneous-vs-
+homogeneous overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.util.errors import DataConversionError
+
+#: Modelled conversion throughput: a mid-90s workstation byte-swapping
+#: in memory (~40 MB/s).
+CONVERSION_BYTES_PER_S = 40e6
+
+
+def conversion_needed(src_byte_order: str, dst_byte_order: str) -> bool:
+    for order in (src_byte_order, dst_byte_order):
+        if order not in ("big", "little"):
+            raise DataConversionError(f"unknown byte order {order!r}")
+    return src_byte_order != dst_byte_order
+
+
+def conversion_cost_s(nbytes: float, src_byte_order: str,
+                      dst_byte_order: str) -> float:
+    """Modelled wall-clock cost of converting *nbytes*."""
+    if not conversion_needed(src_byte_order, dst_byte_order):
+        return 0.0
+    if nbytes < 0:
+        raise DataConversionError(f"negative payload size {nbytes}")
+    return nbytes / CONVERSION_BYTES_PER_S
+
+
+def convert(value: Any, src_byte_order: str, dst_byte_order: str) -> Any:
+    """Convert *value* between byte orders.
+
+    NumPy arrays are genuinely byte-swapped (twice over the wire model:
+    the sender serialises to network order, the receiver to native — the
+    net numeric effect is identity, which is the correctness property the
+    tests assert).  Non-array values are endianness-agnostic Python
+    objects and pass through unchanged.
+    """
+    if not conversion_needed(src_byte_order, dst_byte_order):
+        return value
+    if isinstance(value, np.ndarray) and value.dtype.byteorder != "|":
+        swapped = value.byteswap().view(value.dtype.newbyteorder())
+        # Normalise to native order so downstream computation is unaffected.
+        return np.ascontiguousarray(swapped.astype(value.dtype.newbyteorder("=")))
+    return value

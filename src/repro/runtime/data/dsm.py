@@ -1,0 +1,111 @@
+"""A minimal distributed-shared-memory model (the paper's future work).
+
+Paper section 3: "We are also implementing a distributed shared memory
+model that will allow VDCE users to describe their applications using
+shared-memory paradigm."  This module provides that extension in the
+simulation substrate: a sequentially-consistent shared tuple space with
+per-site caches and write-invalidate coherence, so the costs the paper's
+DSM would have paid (remote read misses, invalidation broadcasts) are
+measurable.
+
+The model is deliberately simple — single-writer-at-a-time per key,
+whole-value granularity — matching what a 1997 prototype would have
+built first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.topology import Topology
+from repro.simcore.engine import Environment
+from repro.util.errors import RuntimeSystemError
+
+
+@dataclass
+class DSMStats:
+    reads: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    writes: int = 0
+    invalidations_sent: int = 0
+
+
+class SharedMemory:
+    """A write-invalidate shared key-value space over the VDCE WAN.
+
+    One *home site* owns the authoritative copy of every key; other sites
+    cache values on read and are invalidated on write.  ``read``/``write``
+    are simulation processes — they consume simulated time proportional
+    to the WAN distance when the cache misses.
+    """
+
+    def __init__(self, env: Environment, topology: Topology,
+                 home_site: str, value_size_bytes: float = 1024.0) -> None:
+        if home_site not in topology.sites:
+            raise RuntimeSystemError(f"unknown home site {home_site!r}")
+        self.env = env
+        self.topology = topology
+        self.home_site = home_site
+        self.value_size_bytes = value_size_bytes
+        self._store: dict[str, Any] = {}
+        self._caches: dict[str, dict[str, Any]] = {}  # site -> key -> value
+        self.stats = DSMStats()
+
+    def _cache(self, site: str) -> dict[str, Any]:
+        return self._caches.setdefault(site, {})
+
+    # -- operations (simulation processes) ---------------------------------
+    def read(self, site: str, key: str):
+        """Process: read *key* from *site*; remote miss costs a WAN trip."""
+        self.stats.reads += 1
+        cache = self._cache(site)
+        if key in cache:
+            self.stats.read_hits += 1
+            yield self.env.timeout(1e-6)  # local cache access
+            return cache[key]
+        self.stats.read_misses += 1
+        if key not in self._store:
+            raise RuntimeSystemError(f"DSM read of unwritten key {key!r}")
+        if site != self.home_site:
+            # request + reply across the WAN, value-sized reply
+            yield self.env.timeout(
+                self.topology.latency(site, self.home_site)
+                + self.topology.transfer_time(self.home_site, site,
+                                              self.value_size_bytes))
+        else:
+            yield self.env.timeout(1e-6)
+        value = self._store[key]
+        cache[key] = value
+        return value
+
+    def write(self, site: str, key: str, value: Any):
+        """Process: write-through to the home site + invalidate caches."""
+        self.stats.writes += 1
+        if site != self.home_site:
+            yield self.env.timeout(self.topology.transfer_time(
+                site, self.home_site, self.value_size_bytes))
+        else:
+            yield self.env.timeout(1e-6)
+        self._store[key] = value
+        # invalidate every other site's cached copy
+        for other, cache in self._caches.items():
+            if other != site and key in cache:
+                del cache[key]
+                self.stats.invalidations_sent += 1
+                yield self.env.timeout(
+                    self.topology.latency(self.home_site, other))
+        self._cache(site)[key] = value
+        return value
+
+    # -- inspection ------------------------------------------------------------
+    def peek(self, key: str) -> Any:
+        """Authoritative value without simulated cost (test helper)."""
+        return self._store.get(key)
+
+    def hit_rate(self) -> float:
+        """Fraction of reads served from a site-local cache."""
+        if self.stats.reads == 0:
+            return 0.0
+        return self.stats.read_hits / self.stats.reads

@@ -1,0 +1,227 @@
+"""A real TCP backend for the Data Manager.
+
+Paper section 2.3.2: "The VDCE Data Manager is a socket-based,
+point-to-point communication system for inter-task communications.
+Therefore, any machine that supports socket programming can be part of
+VDCE."  The simulation backend models sockets; this module *is* sockets:
+loopback TCP with the Figure 7 handshake (channel-setup frame ->
+acknowledgment -> data frames), framed by the message-passing dialects of
+:mod:`repro.runtime.data.messaging`.
+
+Used by :class:`repro.runtime.local.LocalRunner`, which executes an
+application flow graph for real on the local machine with the paper's
+thread-based Data Manager organisation ("three threads ... send thread,
+receive thread, and compute thread").
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import struct
+import threading
+from typing import Any
+
+from repro.runtime.data.messaging import MessageCodec
+from repro.util.errors import ChannelError
+
+_SETUP = "setup"
+_ACK = "ack"
+_DATA = "data"
+_CLOSE = "close"
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class FrameStream:
+    """Paired-frame protocol over one socket: a JSON control frame,
+    optionally followed by a payload frame (which may be a typed array)."""
+
+    def __init__(self, sock: socket.socket, dialect: str = "vdce") -> None:
+        self.sock = sock
+        self.codec = MessageCodec(dialect)
+        self._endian = ">" if self.codec.dialect.wire_byte_order == "big" \
+            else "<"
+        self._send_lock = threading.Lock()
+
+    def send(self, control: dict, payload: Any = None) -> None:
+        """Ship a control frame (plus optional payload frame) atomically."""
+        control = dict(control)
+        control["has_payload"] = payload is not None
+        blob = self.codec.frame(control)
+        if payload is not None:
+            blob += self.codec.frame(payload)
+        with self._send_lock:
+            self.sock.sendall(blob)
+
+    def _read_one(self) -> Any | None:
+        head = _recv_exact(self.sock, 4)
+        if head is None:
+            return None
+        (length,) = struct.unpack(f"{self._endian}I", head)
+        body = _recv_exact(self.sock, length)
+        if body is None:
+            raise ChannelError("socket closed mid-frame")
+        return self.codec.decode(body)
+
+    def receive(self) -> tuple[dict, Any] | None:
+        """Blocking read of one (control, payload) pair; None on EOF."""
+        control = self._read_one()
+        if control is None:
+            return None
+        payload = self._read_one() if control.get("has_payload") else None
+        return control, payload
+
+    def close(self) -> None:
+        """Shut both directions and close the socket."""
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class RealEndpoint:
+    """One machine's listening Data Manager (the receive side).
+
+    Accepts peer connections; a receive thread per connection routes data
+    frames into per-channel queues keyed ``dst_node:dst_port``.
+    """
+
+    def __init__(self, name: str = "endpoint", dialect: str = "vdce") -> None:
+        self.name = name
+        self.dialect = dialect
+        self._server = socket.create_server(("127.0.0.1", 0))
+        self._server.settimeout(0.2)
+        self.address = self._server.getsockname()
+        self._queues: dict[str, queue.Queue] = {}
+        self._queues_lock = threading.Lock()
+        self._streams: list[FrameStream] = []
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        accept = threading.Thread(target=self._accept_loop,
+                                  name=f"{name}-accept", daemon=True)
+        accept.start()
+        self._threads.append(accept)
+
+    # -- channels ----------------------------------------------------------
+    def open_channel(self, key: str) -> queue.Queue:
+        """Create (or fetch) the receive queue for one channel key."""
+        with self._queues_lock:
+            return self._queues.setdefault(key, queue.Queue())
+
+    def receive(self, key: str, timeout: float = 30.0) -> Any:
+        """Blocking read of the next value on a channel."""
+        q = self.open_channel(key)
+        try:
+            return q.get(timeout=timeout)
+        except queue.Empty:
+            raise ChannelError(
+                f"{self.name}: timed out waiting on channel {key!r}"
+            ) from None
+
+    # -- internals -------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _peer = self._server.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            stream = FrameStream(conn, self.dialect)
+            self._streams.append(stream)
+            worker = threading.Thread(target=self._receive_loop,
+                                      args=(stream,),
+                                      name=f"{self.name}-recv", daemon=True)
+            worker.start()
+            self._threads.append(worker)
+
+    def _receive_loop(self, stream: FrameStream) -> None:
+        while not self._stop.is_set():
+            try:
+                item = stream.receive()
+            except (ChannelError, OSError):
+                return
+            if item is None:
+                return
+            control, payload = item
+            kind = control.get("type")
+            if kind == _SETUP:
+                # Figure 7 step 4: acknowledge the channel setup
+                self.open_channel(control["key"])
+                stream.send({"type": _ACK, "key": control["key"]})
+            elif kind == _DATA:
+                self.open_channel(control["key"]).put(payload)
+            elif kind == _CLOSE:
+                return
+
+    def close(self) -> None:
+        """Stop accepting, close every stream, release the port."""
+        self._stop.set()
+        for stream in self._streams:
+            stream.close()
+        self._server.close()
+
+
+class RealProxy:
+    """The communication proxy: the producer's sending side."""
+
+    def __init__(self, peer_address: tuple[str, int],
+                 dialect: str = "vdce", name: str = "proxy") -> None:
+        self.name = name
+        sock = socket.create_connection(peer_address, timeout=10.0)
+        sock.settimeout(30.0)
+        self.stream = FrameStream(sock, dialect)
+        self._acks: queue.Queue = queue.Queue()
+        self._reader = threading.Thread(target=self._ack_loop,
+                                        name=f"{name}-acks", daemon=True)
+        self._reader.start()
+
+    def _ack_loop(self) -> None:
+        while True:
+            try:
+                item = self.stream.receive()
+            except (ChannelError, OSError):
+                return
+            if item is None:
+                return
+            control, _payload = item
+            if control.get("type") == _ACK:
+                self._acks.put(control["key"])
+
+    def setup_channel(self, key: str, timeout: float = 10.0) -> None:
+        """Figure 7 steps 3-4: request setup, wait for the acknowledgment."""
+        self.stream.send({"type": _SETUP, "key": key})
+        try:
+            acked = self._acks.get(timeout=timeout)
+        except queue.Empty:
+            raise ChannelError(
+                f"{self.name}: no setup acknowledgment for {key!r}"
+            ) from None
+        if acked != key:
+            raise ChannelError(
+                f"{self.name}: acknowledgment mismatch "
+                f"({acked!r} != {key!r})")
+
+    def send(self, key: str, value: Any) -> None:
+        """Ship one value down an established channel."""
+        self.stream.send({"type": _DATA, "key": key}, payload=value)
+
+    def close(self) -> None:
+        """Announce closure to the peer and shut the socket."""
+        try:
+            self.stream.send({"type": _CLOSE})
+        except OSError:
+            pass
+        self.stream.close()

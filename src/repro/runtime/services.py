@@ -1,0 +1,156 @@
+"""User-requested runtime services.
+
+Paper section 2.3.2: "The VDCE Runtime System provides several
+user-requested services such as I/O service, console service, and
+visualization service."
+
+* :class:`IOService` — "either file I/O or URL I/O for the inputs of the
+  application tasks": named input providers resolving to task parameters
+  or input values (the URL case is a registered in-memory provider, since
+  the sandbox has no network).
+* :class:`ConsoleService` — "the user can suspend and restart the
+  application execution": a per-execution state machine with a gate that
+  executors await before starting each task.
+
+The visualization services live in :mod:`repro.viz` (they are data
+consumers, not daemons).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.simcore.engine import Environment, Event
+from repro.util.errors import ConsoleError, RuntimeSystemError
+
+
+class IOService:
+    """Resolves named inputs for application tasks."""
+
+    def __init__(self) -> None:
+        self._providers: dict[str, Callable[[], Any]] = {}
+
+    # -- registration ------------------------------------------------------
+    def register_value(self, name: str, value: Any) -> None:
+        """An in-memory input (the stand-in for the paper's URL I/O)."""
+        self._providers[name] = lambda: value
+
+    def register_file(self, name: str, path: str | Path) -> None:
+        """File I/O: ``.json`` and ``.npy`` files are supported."""
+        path = Path(path)
+
+        def load() -> Any:
+            if not path.exists():
+                raise RuntimeSystemError(f"input file {path} does not exist")
+            if path.suffix == ".json":
+                return json.loads(path.read_text())
+            if path.suffix == ".npy":
+                return np.load(path)
+            raise RuntimeSystemError(
+                f"unsupported input file type {path.suffix!r} "
+                "(expected .json or .npy)")
+
+        self._providers[name] = load
+
+    def register_provider(self, name: str,
+                          provider: Callable[[], Any]) -> None:
+        """Register an arbitrary zero-argument input provider."""
+        self._providers[name] = provider
+
+    # -- resolution ----------------------------------------------------------
+    def resolve(self, name: str) -> Any:
+        try:
+            provider = self._providers[name]
+        except KeyError:
+            raise RuntimeSystemError(
+                f"no registered input named {name!r}") from None
+        return provider()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._providers
+
+
+#: console states and their legal transitions
+_TRANSITIONS = {
+    "created": {"running"},
+    "running": {"suspended", "completed", "aborted"},
+    "suspended": {"running", "aborted"},
+    "completed": set(),
+    "aborted": set(),
+}
+
+
+class ConsoleService:
+    """Suspend/resume control over one application execution."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.state = "created"
+        self._gate: Event | None = None  # pending while suspended
+        self.transitions: list[tuple[float, str]] = [(env.now, "created")]
+
+    def _move(self, new_state: str) -> None:
+        allowed = _TRANSITIONS[self.state]
+        if new_state not in allowed:
+            raise ConsoleError(
+                f"cannot move from {self.state!r} to {new_state!r} "
+                f"(allowed: {sorted(allowed)})")
+        self.state = new_state
+        self.transitions.append((self.env.now, new_state))
+
+    # -- commands -----------------------------------------------------------
+    def start(self) -> None:
+        """Begin execution (created -> running)."""
+        self._move("running")
+
+    def suspend(self) -> None:
+        """Pause the application; tasks block before starting."""
+        self._move("suspended")
+        if self._gate is None or self._gate.triggered:
+            self._gate = self.env.event()
+
+    def resume(self) -> None:
+        """Continue a suspended application."""
+        self._move("running")
+        if self._gate is not None and not self._gate.triggered:
+            self._gate.succeed()
+
+    def complete(self) -> None:
+        """Mark the application finished (terminal)."""
+        self._move("completed")
+
+    def abort(self) -> None:
+        """Abort the application, releasing any blocked tasks."""
+        self._move("aborted")
+        if self._gate is not None and not self._gate.triggered:
+            self._gate.succeed()  # release waiters so they can observe abort
+
+    # -- executor side -----------------------------------------------------
+    @property
+    def is_suspended(self) -> bool:
+        return self.state == "suspended"
+
+    def wait_if_suspended(self):
+        """Process helper: ``yield from console.wait_if_suspended()``."""
+        while self.state == "suspended":
+            assert self._gate is not None
+            yield self._gate
+
+    def suspended_time(self) -> float:
+        """Total simulated seconds spent suspended so far."""
+        total = 0.0
+        since: float | None = None
+        for when, state in self.transitions:
+            if state == "suspended" and since is None:
+                since = when
+            elif state != "suspended" and since is not None:
+                total += when - since
+                since = None
+        if since is not None:
+            total += self.env.now - since
+        return total

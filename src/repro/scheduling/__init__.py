@@ -1,0 +1,56 @@
+"""The Application Scheduler: levels, host selection, site scheduling."""
+
+from repro.scheduling.allocation import AllocationEntry, ResourceAllocationTable
+from repro.scheduling.baselines import (
+    BaselineScheduler,
+    MinLoadScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.scheduling.heft import HeftScheduler
+from repro.scheduling.host_selection import (
+    HostChoice,
+    HostSelectionResult,
+    HostSelector,
+)
+from repro.scheduling.levels import ReadySet, compute_levels, priority_order
+from repro.scheduling.makespan import (
+    Timeline,
+    evaluate_schedule,
+    predicted_schedule_length,
+)
+from repro.scheduling.qos import (
+    QoSAssessment,
+    QoSRequirement,
+    assess_schedule,
+    require_admission,
+)
+from repro.scheduling.rescheduling import ReschedulePolicy, Rescheduler
+from repro.scheduling.site_scheduler import ScheduleReport, SiteScheduler
+
+__all__ = [
+    "AllocationEntry",
+    "BaselineScheduler",
+    "HeftScheduler",
+    "HostChoice",
+    "HostSelectionResult",
+    "HostSelector",
+    "MinLoadScheduler",
+    "QoSAssessment",
+    "QoSRequirement",
+    "RandomScheduler",
+    "ReadySet",
+    "ReschedulePolicy",
+    "Rescheduler",
+    "ResourceAllocationTable",
+    "RoundRobinScheduler",
+    "ScheduleReport",
+    "SiteScheduler",
+    "Timeline",
+    "assess_schedule",
+    "compute_levels",
+    "evaluate_schedule",
+    "predicted_schedule_length",
+    "priority_order",
+    "require_admission",
+]

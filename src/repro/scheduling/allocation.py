@@ -1,0 +1,112 @@
+"""The resource allocation table.
+
+Paper Figure 4: "Set resource allocation table entry of the task_i with
+the assigned resource" — the Site Manager then "multicasts it to the
+Group Managers that will be involved in the execution", each of which
+forwards "related parts of the resource allocation table" to the
+Application Controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class AllocationEntry:
+    """One task's assignment."""
+
+    node_id: str
+    task_name: str
+    site: str
+    hosts: tuple[str, ...]            # >1 entries for parallel tasks
+    predicted_time_s: float
+    predicted_transfer_s: float = 0.0
+    processors: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            raise SchedulingError(
+                f"allocation for {self.node_id!r} names no hosts")
+        if self.processors != len(self.hosts):
+            raise SchedulingError(
+                f"allocation for {self.node_id!r}: processors="
+                f"{self.processors} but {len(self.hosts)} hosts")
+
+    @property
+    def host(self) -> str:
+        """Primary host (the only host for sequential tasks)."""
+        return self.hosts[0]
+
+    @property
+    def predicted_total_s(self) -> float:
+        return self.predicted_time_s + self.predicted_transfer_s
+
+
+@dataclass
+class ResourceAllocationTable:
+    """node id -> :class:`AllocationEntry` for one application."""
+
+    application: str
+    entries: dict[str, AllocationEntry] = field(default_factory=dict)
+
+    def assign(self, entry: AllocationEntry) -> None:
+        """Record a task's assignment (once per task)."""
+        if entry.node_id in self.entries:
+            raise SchedulingError(
+                f"task {entry.node_id!r} already allocated")
+        self.entries[entry.node_id] = entry
+
+    def reassign(self, entry: AllocationEntry) -> AllocationEntry:
+        """Replace an existing assignment (dynamic rescheduling)."""
+        if entry.node_id not in self.entries:
+            raise SchedulingError(
+                f"cannot reassign unallocated task {entry.node_id!r}")
+        old = self.entries[entry.node_id]
+        self.entries[entry.node_id] = entry
+        return old
+
+    def get(self, node_id: str) -> AllocationEntry:
+        """Fetch one task's assignment."""
+        try:
+            return self.entries[node_id]
+        except KeyError:
+            raise SchedulingError(
+                f"no allocation for task {node_id!r}") from None
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- the runtime's distribution views -----------------------------------
+    def sites(self) -> set[str]:
+        """Every site that received at least one task."""
+        return {e.site for e in self.entries.values()}
+
+    def hosts(self) -> set[str]:
+        """Every host named by the allocation (participants included)."""
+        return {h for e in self.entries.values() for h in e.hosts}
+
+    def portion_for_host(self, host: str) -> list[AllocationEntry]:
+        """The 'related part' a Group Manager sends to one machine."""
+        return [e for e in self.entries.values() if host in e.hosts]
+
+    def portion_for_site(self, site: str) -> list[AllocationEntry]:
+        """Every entry assigned to one site."""
+        return [e for e in self.entries.values() if e.site == site]
+
+    def predicted_total_work_s(self) -> float:
+        """Sum of predicted execution+transfer over all tasks."""
+        return sum(e.predicted_total_s for e in self.entries.values())
+
+    def remote_fraction(self, local_site: str) -> float:
+        """Fraction of tasks placed off the submitting site."""
+        if not self.entries:
+            return 0.0
+        remote = sum(1 for e in self.entries.values()
+                     if e.site != local_site)
+        return remote / len(self.entries)

@@ -1,0 +1,183 @@
+"""The Host Selection Algorithm (paper Figure 5).
+
+Runs at every site (local and each selected remote site):
+
+1. Retrieve task-specific parameters of AFG tasks from the
+   task-performance database.
+2. Retrieve resource-specific parameters of the site's resources from
+   the resource-performance database.
+3. For each task, evaluate ``Predict(task, R)`` for every resource and
+   pick the minimiser.
+
+Beyond the figure, the selection honours the constraints the paper
+describes elsewhere: the task-constraints database (executables may live
+only on some hosts), the editor's machine-type preference, and —
+per the parallel-task extension of section 2.2.1 — multi-host selection
+within the site for parallel tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.afg.graph import ApplicationFlowGraph, TaskNode
+from repro.prediction.predict import PerformancePredictor
+from repro.repository.resource_perf import ResourceRecord
+from repro.repository.site_repository import SiteRepository
+from repro.util.errors import NoFeasibleHostError
+
+
+@dataclass(frozen=True)
+class HostChoice:
+    """One site's answer for one task: machine(s) + predicted time."""
+
+    node_id: str
+    site: str
+    hosts: tuple[str, ...]
+    predicted_time_s: float
+    processors: int = 1
+
+
+@dataclass(frozen=True)
+class HostSelectionResult:
+    """The full per-site mapping sent back to the local site.
+
+    ``ranked`` optionally carries each task's next-best alternatives
+    (used by the queue-aware scheduling extension; the paper's algorithm
+    only ever looks at ``choices``).
+    """
+
+    site: str
+    choices: dict[str, HostChoice]       # node id -> choice
+    infeasible: tuple[str, ...] = ()     # node ids this site cannot run
+    ranked: dict[str, tuple[HostChoice, ...]] = None  # type: ignore[assignment]
+
+    def choice_for(self, node_id: str) -> HostChoice | None:
+        """This site's best choice for one task (None if infeasible)."""
+        return self.choices.get(node_id)
+
+    def ranked_for(self, node_id: str) -> tuple[HostChoice, ...]:
+        if self.ranked and node_id in self.ranked:
+            return self.ranked[node_id]
+        choice = self.choices.get(node_id)
+        return (choice,) if choice is not None else ()
+
+
+class HostSelector:
+    """Figure 5, evaluated against one site's repository."""
+
+    def __init__(self, repository: SiteRepository,
+                 predictor: PerformancePredictor | None = None,
+                 enforce_constraints: bool = True) -> None:
+        self.repository = repository
+        self.predictor = predictor or PerformancePredictor(
+            repository.task_performance)
+        self.enforce_constraints = enforce_constraints
+
+    # -- candidate filtering ---------------------------------------------
+    def feasible_records(self, node: TaskNode) -> list[ResourceRecord]:
+        """Site resources that satisfy the task's hard constraints."""
+        records = self.repository.resource_performance.hosts_at(
+            self.repository.site)
+        out = []
+        constraints = self.repository.task_constraints
+        machine_type = node.properties.machine_type
+        for rec in records:
+            if machine_type is not None and rec.arch != machine_type:
+                continue
+            if self.enforce_constraints and not constraints.is_runnable_on(
+                    node.task_name, rec.address):
+                continue
+            out.append(rec)
+        return out
+
+    # -- per-task selection -------------------------------------------------
+    def select_ranked(self, node: TaskNode,
+                      max_alternatives: int = 3) -> tuple[HostChoice, ...]:
+        """The best hosts for one task, ascending by predicted time.
+
+        The paper's algorithm only uses the first entry; the queue-aware
+        extension consults the alternatives.  Parallel tasks have a
+        single (multi-host) choice.
+        """
+        records = self.feasible_records(node)
+        if not records:
+            raise NoFeasibleHostError(
+                f"site {self.repository.site!r}: no feasible host for "
+                f"task {node.node_id!r} ({node.task_name})")
+        props = node.properties
+        processors = (props.processors
+                      if props.computation_mode == "parallel" else 1)
+        if processors > 1:
+            return (self._select_parallel(node, records, processors),)
+        preds = sorted(
+            (self.predictor.predict(node.definition, props.input_size, rec)
+             for rec in records if rec.status == "up"),
+            key=lambda p: (p.estimate_s, p.host))
+        if not preds:
+            raise NoFeasibleHostError(
+                f"site {self.repository.site!r}: every feasible host for "
+                f"{node.node_id!r} is down")
+        return tuple(
+            HostChoice(node_id=node.node_id, site=self.repository.site,
+                       hosts=(p.host,), predicted_time_s=p.estimate_s)
+            for p in preds[:max_alternatives])
+
+    def select_for_task(self, node: TaskNode) -> HostChoice:
+        """Minimum-``Predict`` host(s) at this site for one task."""
+        records = self.feasible_records(node)
+        if not records:
+            raise NoFeasibleHostError(
+                f"site {self.repository.site!r}: no feasible host for "
+                f"task {node.node_id!r} ({node.task_name})")
+        props = node.properties
+        processors = (props.processors
+                      if props.computation_mode == "parallel" else 1)
+        if processors == 1:
+            best = self.predictor.best_host(node.definition,
+                                            props.input_size, records)
+            return HostChoice(node_id=node.node_id,
+                              site=self.repository.site,
+                              hosts=(best.host,),
+                              predicted_time_s=best.estimate_s)
+        return self._select_parallel(node, records, processors)
+
+    def _select_parallel(self, node: TaskNode, records, processors: int
+                         ) -> HostChoice:
+        # Parallel extension: pick the p best hosts within the site; the
+        # parallel execution time is bounded by the slowest participant.
+        if len(records) < processors:
+            raise NoFeasibleHostError(
+                f"site {self.repository.site!r}: task {node.node_id!r} "
+                f"needs {processors} hosts, only {len(records)} feasible")
+        preds = sorted(
+            (self.predictor.predict(node.definition,
+                                    node.properties.input_size, rec,
+                                    processors=processors)
+             for rec in records),
+            key=lambda p: (p.estimate_s, p.host))
+        chosen = preds[:processors]
+        return HostChoice(node_id=node.node_id, site=self.repository.site,
+                          hosts=tuple(p.host for p in chosen),
+                          predicted_time_s=max(p.estimate_s for p in chosen),
+                          processors=processors)
+
+    # -- whole-graph selection (the figure's task_queue loop) -------------------
+    def select(self, graph: ApplicationFlowGraph,
+               max_alternatives: int = 3) -> HostSelectionResult:
+        choices: dict[str, HostChoice] = {}
+        ranked: dict[str, tuple[HostChoice, ...]] = {}
+        infeasible: list[str] = []
+        for node_id in graph.topological_order():
+            node = graph.node(node_id)
+            try:
+                options = self.select_ranked(node, max_alternatives)
+            except NoFeasibleHostError:
+                infeasible.append(node_id)
+                continue
+            choices[node_id] = options[0]
+            ranked[node_id] = options
+        return HostSelectionResult(site=self.repository.site,
+                                   choices=choices,
+                                   infeasible=tuple(infeasible),
+                                   ranked=ranked)

@@ -1,0 +1,96 @@
+"""List-scheduling priorities: node levels.
+
+Paper section 2.2: "The VDCE scheduling heuristic uses the level [11] of
+each node to determine its priority.  The node (task) with a higher level
+value will have a higher priority for scheduling.  The level of a node in
+the graph is computed as the largest sum of computation costs along a
+path from the node to an exit node. ... For the computation cost, the
+task (node) execution time on the base processor ... is used."
+
+Levels are computed once, before the scheduling walk ("the level of each
+node of an application flow graph is determined before the execution of
+the scheduling algorithm").
+"""
+
+from __future__ import annotations
+
+from repro.afg.graph import ApplicationFlowGraph
+
+
+def compute_levels(graph: ApplicationFlowGraph,
+                   costs: dict[str, float] | None = None) -> dict[str, float]:
+    """Level of every node: max path cost (inclusive) to an exit node.
+
+    *costs* overrides the per-node base-processor computation cost;
+    the default is each node's :meth:`TaskNode.base_cost`.
+    """
+    if costs is None:
+        costs = {nid: node.base_cost() for nid, node in graph.nodes.items()}
+    levels: dict[str, float] = {}
+    for nid in reversed(graph.topological_order()):
+        child_best = max((levels[c] for c in graph.successors(nid)),
+                         default=0.0)
+        levels[nid] = costs[nid] + child_best
+    return levels
+
+
+def priority_order(graph: ApplicationFlowGraph,
+                   levels: dict[str, float] | None = None) -> list[str]:
+    """All nodes sorted by descending level (name tie-break).
+
+    This is a static listing; the scheduling walk additionally requires
+    readiness (all parents scheduled) before a node may be picked.
+    """
+    if levels is None:
+        levels = compute_levels(graph)
+    return sorted(graph.nodes, key=lambda nid: (-levels[nid], nid))
+
+
+class ReadySet:
+    """The scheduler's ready set: entry nodes first, children as parents
+    complete, always yielding the highest-level ready node."""
+
+    def __init__(self, graph: ApplicationFlowGraph,
+                 levels: dict[str, float]) -> None:
+        self.graph = graph
+        self.levels = levels
+        self._unscheduled_parents = {
+            nid: len(graph.predecessors(nid)) for nid in graph.nodes}
+        self._ready = {nid for nid, n in self._unscheduled_parents.items()
+                       if n == 0}
+        self._done: set[str] = set()
+
+    def __bool__(self) -> bool:
+        return bool(self._ready)
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+    def peek(self) -> str:
+        """Highest-priority ready node (deterministic tie-break)."""
+        if not self._ready:
+            raise IndexError("ready set is empty")
+        return min(self._ready, key=lambda nid: (-self.levels[nid], nid))
+
+    def pop(self) -> str:
+        """Remove and return the highest-priority ready node, releasing
+        children whose parents are now all scheduled."""
+        nid = self.peek()
+        self._ready.remove(nid)
+        self._done.add(nid)
+        for child in self.graph.successors(nid):
+            self._unscheduled_parents[child] -= 1
+            if self._unscheduled_parents[child] == 0:
+                self._ready.add(child)
+        return nid
+
+    @property
+    def scheduled(self) -> set[str]:
+        return set(self._done)
+
+    def drain(self) -> list[str]:
+        """Pop everything: the complete scheduling order."""
+        order = []
+        while self._ready:
+            order.append(self.pop())
+        return order

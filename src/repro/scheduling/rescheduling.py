@@ -1,0 +1,94 @@
+"""Dynamic rescheduling.
+
+Paper section 2.3.1 (Application Controller): "If the current load on any
+of these machines is more than a predefined threshold value, the
+Application Controller terminates the task execution on the machine and
+sends a task rescheduling request to the Group Manager."  Failures are
+handled the same way: a task on a host that stops answering keep-alives
+is rescheduled and the host excluded.
+
+The :class:`Rescheduler` re-runs host selection for a single task against
+the *current* repository view, excluding the hosts that triggered the
+request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.afg.graph import TaskNode
+from repro.prediction.predict import PerformancePredictor
+from repro.repository.site_repository import SiteRepository
+from repro.scheduling.allocation import AllocationEntry
+from repro.util.errors import NoFeasibleHostError
+
+
+@dataclass(frozen=True)
+class ReschedulePolicy:
+    """When the Application Controller pulls the trigger."""
+
+    #: terminate + reschedule when observed load exceeds this
+    load_threshold: float = 2.0
+    #: minimum predicted improvement factor required to move (avoids
+    #: thrashing between near-equal hosts)
+    min_improvement: float = 1.15
+    #: maximum times one task may be rescheduled
+    max_attempts: int = 3
+
+    def should_reschedule(self, observed_load: float) -> bool:
+        return observed_load > self.load_threshold
+
+
+class Rescheduler:
+    """Pick a replacement host for one task, excluding bad hosts."""
+
+    def __init__(self, repositories: dict[str, SiteRepository],
+                 predictor_factory=None,
+                 policy: ReschedulePolicy | None = None) -> None:
+        self.repositories = repositories
+        self.policy = policy or ReschedulePolicy()
+        self._predictor_factory = predictor_factory or (
+            lambda repo: PerformancePredictor(repo.task_performance))
+
+    def reschedule(self, node: TaskNode, current: AllocationEntry,
+                   exclude_hosts: set[str] | None = None,
+                   ) -> AllocationEntry:
+        """New allocation for *node*, avoiding *exclude_hosts*.
+
+        Considers every site's current view; raises
+        :class:`NoFeasibleHostError` when nowhere better exists.  A
+        parallel task is rescheduled onto a single replacement host
+        (degrading to sequential execution) — re-gathering a full
+        multi-host gang mid-flight is out of the prototype's scope, as
+        it is in the paper's.
+        """
+        exclude = set(exclude_hosts or ()) | set(current.hosts)
+        best: AllocationEntry | None = None
+        for site, repo in sorted(self.repositories.items()):
+            predictor = self._predictor_factory(repo)
+            records = [
+                rec for rec in repo.resource_performance.hosts_at(site)
+                if rec.address not in exclude
+                and repo.task_constraints.is_runnable_on(node.task_name,
+                                                         rec.address)
+                and (node.properties.machine_type is None
+                     or rec.arch == node.properties.machine_type)
+            ]
+            if not records:
+                continue
+            try:
+                pred = predictor.best_host(node.definition,
+                                           node.properties.input_size,
+                                           records)
+            except NoFeasibleHostError:
+                continue
+            if best is None or pred.estimate_s < best.predicted_time_s:
+                best = AllocationEntry(
+                    node_id=node.node_id, task_name=node.task_name,
+                    site=site, hosts=(pred.host,),
+                    predicted_time_s=pred.estimate_s)
+        if best is None:
+            raise NoFeasibleHostError(
+                f"no replacement host for task {node.node_id!r} "
+                f"(excluded: {sorted(exclude)})")
+        return best

@@ -1,0 +1,223 @@
+"""The Site Scheduler Algorithm (paper Figure 4).
+
+The Application Scheduler at the *local* site (where the execution
+request arrived):
+
+1.  receives the AFG from the local Application Editor;
+2.  selects the ``k`` nearest VDCE neighbour sites;
+3.  multicasts the AFG to them;
+4-5. each site (local included) runs the Host Selection Algorithm and
+    returns per-task (machine, predicted time) pairs;
+6.  initialises the ready set with the entry nodes;
+7.  walks the graph in ready order (highest level first — section 2.2's
+    list-scheduling priority): entry tasks, or tasks needing no input
+    file, go to the site minimising ``Predict``; other tasks go to the
+    site minimising ``transfer_time(S_parent, S_j) * file_size +
+    Predict(task, R_j)``; ties prefer the local site then the site name,
+    so schedules are deterministic.
+
+This module is the *algorithm*; the message-level multicast/gather is
+performed by the Site Managers in :mod:`repro.runtime.control` and hands
+the collected :class:`HostSelectionResult` objects to
+:meth:`SiteScheduler.schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.afg.graph import ApplicationFlowGraph
+from repro.net.topology import Topology
+from repro.scheduling.allocation import AllocationEntry, ResourceAllocationTable
+from repro.scheduling.host_selection import (
+    HostSelectionResult,
+    HostSelector,
+)
+from repro.scheduling.levels import ReadySet, compute_levels
+from repro.util.errors import NoFeasibleHostError, SchedulingError
+
+
+@dataclass
+class ScheduleReport:
+    """Diagnostics accompanying a resource allocation table."""
+
+    application: str
+    local_site: str
+    consulted_sites: list[str]
+    levels: dict[str, float] = field(default_factory=dict)
+    scheduling_order: list[str] = field(default_factory=list)
+    per_task_candidates: dict[str, dict[str, float]] = field(
+        default_factory=dict)  # node -> site -> total predicted time
+
+
+class SiteScheduler:
+    """Figure 4, parameterised by the neighbourhood size ``k``.
+
+    ``queue_aware=True`` enables a beyond-paper extension: an
+    earliest-finish-time walk.  For every candidate host (each site's
+    ranked alternatives) it computes ``max(data-ready time, host-free
+    time) + Predict`` and assigns the minimiser, updating the host-free
+    clock — so independent tasks spread across hosts while chain tasks
+    still co-locate (a child never contends with its own parent).  The
+    published algorithm is queue-blind — independent tasks of the same
+    application all see the same "best" host — which the F4 benchmark
+    shows costs it on wide shallow graphs; A5 quantifies the fix.
+    """
+
+    def __init__(self, local_site: str, topology: Topology,
+                 k_remote_sites: int = 2, queue_aware: bool = False) -> None:
+        if k_remote_sites < 0:
+            raise SchedulingError("k_remote_sites must be >= 0")
+        self.local_site = local_site
+        self.topology = topology
+        self.k = k_remote_sites
+        self.queue_aware = queue_aware
+
+    # -- step 2: neighbour selection ---------------------------------------
+    def select_remote_sites(self) -> list[str]:
+        """The k nearest neighbour sites (step 2), by WAN latency."""
+        return self.topology.nearest_sites(self.local_site, self.k)
+
+    # -- steps 6-7: the assignment walk -------------------------------------
+    def schedule(
+        self,
+        graph: ApplicationFlowGraph,
+        selection_results: dict[str, HostSelectionResult],
+    ) -> tuple[ResourceAllocationTable, ScheduleReport]:
+        """Assign every task to a site/host given per-site selections.
+
+        *selection_results* maps site name to that site's Host Selection
+        output; it must include the local site.
+        """
+        if self.local_site not in selection_results:
+            raise SchedulingError(
+                f"selection results missing the local site "
+                f"{self.local_site!r}")
+        graph.validate()
+        levels = compute_levels(graph)
+        table = ResourceAllocationTable(application=graph.name)
+        report = ScheduleReport(
+            application=graph.name, local_site=self.local_site,
+            consulted_sites=sorted(selection_results), levels=levels)
+
+        ready = ReadySet(graph, levels)
+        # earliest-finish-time state for the queue-aware extension
+        eft = {"host_free": {}, "finish": {}} if self.queue_aware else None
+        while ready:
+            node_id = ready.pop()
+            report.scheduling_order.append(node_id)
+            node = graph.node(node_id)
+            entry = self._assign(graph, node_id, selection_results, table,
+                                 report, eft)
+            if node.properties.preferred_site is not None and \
+                    entry.site != node.properties.preferred_site:
+                # Preference is soft in the paper ("optional preferences");
+                # record that it could not be honoured.
+                report.per_task_candidates.setdefault(node_id, {})[
+                    "_preference_unmet"] = 1.0
+            table.assign(entry)
+        if len(table) != len(graph):
+            raise SchedulingError(
+                "scheduling walk did not cover every node (cycle?)")
+        return table, report
+
+    def _assign(self, graph: ApplicationFlowGraph, node_id: str,
+                results: dict[str, HostSelectionResult],
+                table: ResourceAllocationTable,
+                report: ScheduleReport,
+                eft: dict | None = None) -> AllocationEntry:
+        node = graph.node(node_id)
+        parents = graph.predecessors(node_id)
+        preferred = node.properties.preferred_site
+        # candidate key: (site, choice); the paper considers one choice
+        # per site, the queue-aware extension also weighs alternatives.
+        candidates: list[tuple[float, float, object, str]] = []
+        site_best: dict[str, float] = {}
+        for site, result in results.items():
+            options = (result.ranked_for(node_id) if self.queue_aware
+                       else tuple(c for c in (result.choice_for(node_id),)
+                                  if c is not None))
+            if not options:
+                continue
+            if preferred is not None and site != preferred and \
+                    preferred in results and \
+                    results[preferred].choice_for(node_id) is not None:
+                # honour an achievable preference as a hard filter
+                continue
+            transfer = self._transfer_time(graph, parents, site, table)
+            for choice in options:
+                if eft is not None:
+                    # earliest finish: data-ready vs host-free, whichever
+                    # is later, plus the predicted execution time
+                    ready = max(
+                        (eft["finish"][p]
+                         + (0.0 if table.get(p).site == site else
+                            self.topology.transfer_time(
+                                table.get(p).site, site,
+                                graph.node(p).output_bytes()))
+                         for p in parents), default=0.0)
+                    free = max((eft["host_free"].get(h, 0.0)
+                                for h in choice.hosts), default=0.0)
+                    total = max(ready, free) + choice.predicted_time_s
+                else:
+                    total = transfer + choice.predicted_time_s
+                candidates.append((total, transfer, choice, site))
+                site_best[site] = min(site_best.get(site, float("inf")),
+                                      total)
+        report.per_task_candidates[node_id] = dict(site_best)
+        if not candidates:
+            raise NoFeasibleHostError(
+                f"no consulted site can run task {node_id!r} "
+                f"({node.task_name})")
+        total, transfer, choice, best_site = min(
+            candidates,
+            key=lambda c: (c[0], c[3] != self.local_site, c[3],
+                           c[2].hosts))
+        if eft is not None:
+            eft["finish"][node_id] = total
+            for host in choice.hosts:
+                eft["host_free"][host] = total
+        return AllocationEntry(
+            node_id=node_id, task_name=node.task_name, site=best_site,
+            hosts=choice.hosts, predicted_time_s=choice.predicted_time_s,
+            predicted_transfer_s=transfer,
+            processors=choice.processors)
+
+    def _transfer_time(self, graph: ApplicationFlowGraph,
+                       parents: list[str], site: str,
+                       table: ResourceAllocationTable) -> float:
+        """Input-file transfer cost into *site* from the parents' sites.
+
+        Entry tasks (no parents) need no input file: zero (Figure 4's
+        first branch).  Same-site parents contribute zero ("If the site
+        is the same as the parent site, then the total inter-task
+        transfer time will be zero").
+        """
+        total = 0.0
+        for parent in parents:
+            parent_entry = table.get(parent)  # parents always scheduled first
+            if parent_entry.site == site:
+                continue
+            size = graph.node(parent).output_bytes()
+            total += self.topology.transfer_time(parent_entry.site, site,
+                                                 size)
+        return total
+
+    # -- convenience: run selection + walk in-process -------------------------
+    def schedule_with_selectors(
+        self,
+        graph: ApplicationFlowGraph,
+        selectors: dict[str, HostSelector],
+    ) -> tuple[ResourceAllocationTable, ScheduleReport]:
+        """Steps 2-7 without the messaging layer (used by tests/benches).
+
+        *selectors* maps site name to that site's HostSelector; the local
+        site must be present.  Only the local site plus the k nearest
+        neighbours are consulted, matching the multicast of step 3.
+        """
+        if self.local_site not in selectors:
+            raise SchedulingError("selectors must include the local site")
+        consulted = [self.local_site] + [
+            s for s in self.select_remote_sites() if s in selectors]
+        results = {site: selectors[site].select(graph) for site in consulted}
+        return self.schedule(graph, results)

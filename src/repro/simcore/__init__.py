@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate (clock, events, processes, stores)."""
+
+from repro.simcore.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.simcore.store import Store, StoreGet, StorePut
+from repro.simcore.trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Store",
+    "StoreGet",
+    "StorePut",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,360 @@
+"""A deterministic discrete-event simulation kernel.
+
+This is the substrate substituting for the paper's physical NYNET/campus
+testbed: monitors, group managers, schedulers, data-manager proxies and
+task executions all run as cooperating generator-based processes over a
+simulated clock.  The kernel is a compact subset of the SimPy programming
+model (events, processes, timeouts, interrupts) implemented from scratch
+so the reproduction has no external runtime dependencies.
+
+Determinism: events scheduled for the same simulated time are executed in
+schedule order (a monotone sequence number breaks ties), so a fixed seed
+yields an identical trace on every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.util.errors import SimulationError
+
+#: Sentinel priority bands: urgent events (process resumption) run before
+#: normal events scheduled for the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *pending*, is *triggered* (scheduled with a value or an
+    exception), and finally *processed* once its callbacks have run.
+    Processes wait on events by yielding them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._ok: bool | None = None
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event value accessed before trigger")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event value accessed before trigger")
+        if not self._ok:
+            raise SimulationError("event failed; no value") from self._exception
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._exception
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value* (now)."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self, delay=0.0, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with *exception* (now)."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._exception = exception
+        self.env._enqueue(self, delay=0.0, priority=NORMAL)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._enqueue(self, delay=delay, priority=NORMAL)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The Application Controller uses this to terminate an over-loaded task
+    execution before issuing a rescheduling request (paper section 2.3.1).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A generator-based simulated process.
+
+    The generator yields :class:`Event` instances; the process resumes when
+    the yielded event is processed, receiving its value (or the exception
+    if the event failed).  The process itself is an event that triggers
+    when the generator returns, so processes can wait on one another.
+    """
+
+    def __init__(self, env: "Environment", gen: Generator[Event, Any, Any],
+                 name: str | None = None) -> None:
+        if not isinstance(gen, Generator):
+            raise SimulationError(
+                "Process requires a generator (did you call the function?)")
+        super().__init__(env)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Event | None = None
+        # Bootstrap: resume the generator as soon as the env runs.
+        boot = Event(env)
+        boot._ok = True
+        boot.callbacks.append(self._resume)
+        env._enqueue(boot, delay=0.0, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        hit = Event(self.env)
+        hit._ok = False
+        hit._exception = Interrupt(cause)
+        hit.callbacks.append(self._resume)
+        self.env._enqueue(hit, delay=0.0, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            if event._ok:
+                target = self.gen.send(event._value)
+            else:
+                target = self.gen.throw(event._exception)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env._enqueue(self, delay=0.0, priority=NORMAL)
+            return
+        except Interrupt:
+            # Uncaught interrupt terminates the process "successfully
+            # cancelled": the interruptor asked for termination.
+            self._ok = True
+            self._value = None
+            self.env._enqueue(self, delay=0.0, priority=NORMAL)
+            return
+        except Exception as exc:
+            self._ok = False
+            self._exception = exc
+            # Record the crash so silent daemon deaths are diagnosable:
+            # a failed process with no waiter would otherwise vanish.
+            self.env.failed_processes.append((self.env.now, self.name, exc))
+            self.env._enqueue(self, delay=0.0, priority=NORMAL)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event")
+        if target.callbacks is None:
+            # Already processed: resume immediately (next tick, urgent).
+            relay = Event(self.env)
+            relay._ok = target._ok
+            relay._value = target._value
+            relay._exception = target._exception
+            relay.callbacks.append(self._resume)
+            self.env._enqueue(relay, delay=0.0, priority=URGENT)
+            self._target = relay
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered successfully.
+
+    Value is the list of child values in the order given.  Fails with the
+    first child failure.
+    """
+
+    def __init__(self, env: "Environment", events: list[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._exception or SimulationError("child event failed"))
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers; value is ``(index, value)``."""
+
+    def __init__(self, env: "Environment", events: list[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for i, ev in enumerate(self._events):
+            cb = self._make_cb(i)
+            if ev.callbacks is None:
+                cb(ev)
+            else:
+                ev.callbacks.append(cb)
+
+    def _make_cb(self, index: int):
+        def _cb(ev: Event) -> None:
+            if self.triggered:
+                return
+            if ev._ok:
+                self.succeed((index, ev._value))
+            else:
+                self.fail(ev._exception or SimulationError("child event failed"))
+        return _cb
+
+
+class Environment:
+    """The simulation environment: clock + event queue + process factory."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+        #: (time, process name, exception) for every process that died on
+        #: an unhandled exception — inspect after a run to catch silent
+        #: daemon crashes.
+        self.failed_processes: list[tuple[float, str, Exception]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by library convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event (trigger with succeed/fail)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing after *delay* simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any],
+                name: str | None = None) -> Process:
+        """Launch a generator as a simulated process."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """An event firing when every child has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """An event firing with the first child that fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event queue time went backwards")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, *until* time passes, or event fires.
+
+        Returns the event's value when *until* is an :class:`Event`.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)")
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._exception  # type: ignore[misc]
+        horizon = float("inf") if until is None else float(until)
+        if horizon != float("inf") and horizon < self._now:
+            raise SimulationError(f"run(until={horizon}) is in the past "
+                                  f"(now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        if horizon != float("inf"):
+            self._now = horizon
+        return None

@@ -1,0 +1,87 @@
+"""FIFO stores: the mailbox primitive used by simulated daemons.
+
+A :class:`Store` is an unbounded (or capacity-bounded) FIFO queue whose
+``get`` returns an event a process can wait on — the basic building block
+for monitor→group-manager reports, site-manager request queues, and the
+Data Manager's channel endpoints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.simcore.engine import Environment, Event
+from repro.util.errors import SimulationError
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`."""
+
+
+class StorePut(Event):
+    """Pending insertion into a capacity-bounded :class:`Store`."""
+
+    def __init__(self, env: Environment, item: Any) -> None:
+        super().__init__(env)
+        self.item = item
+
+
+class Store:
+    """An ordered FIFO queue of items with waitable get/put.
+
+    ``capacity`` of ``None`` means unbounded (puts always succeed
+    immediately); otherwise puts block while the store is full.
+    """
+
+    def __init__(self, env: Environment, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError("store capacity must be >= 1 or None")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[StoreGet] = deque()
+        self._putters: deque[StorePut] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert *item*; returns an event that triggers once stored."""
+        ev = StorePut(self.env, item)
+        self._putters.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self) -> StoreGet:
+        """Return an event that triggers with the oldest item."""
+        ev = StoreGet(self.env)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def try_get(self) -> Any | None:
+        """Non-blocking get: the oldest item or ``None`` when empty."""
+        if self.items:
+            item = self.items.popleft()
+            self._dispatch()
+            return item
+        return None
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Move waiting puts into the buffer while there is room.
+            while self._putters and (
+                self.capacity is None or len(self.items) < self.capacity
+            ):
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Satisfy waiting gets from the buffer.
+            while self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,42 @@
+"""VDCE task libraries: the editor's menu-driven building blocks."""
+
+from repro.tasklib.base import (
+    COMPLEXITY_FUNCTIONS,
+    TaskDefinition,
+    TaskSignature,
+    compute_scale,
+    validate_unique_names,
+)
+from repro.tasklib.c3i import build_c3i_library
+from repro.tasklib.fourier import build_fourier_library
+from repro.tasklib.imaging import build_imaging_library
+from repro.tasklib.matrix import build_matrix_library
+from repro.tasklib.registry import LibraryRegistry, TaskLibrary, build_registry
+
+
+def standard_registry() -> LibraryRegistry:
+    """The default VDCE installation: matrix, Fourier, C3I, and imaging
+    libraries."""
+    return build_registry([
+        build_matrix_library(),
+        build_fourier_library(),
+        build_c3i_library(),
+        build_imaging_library(),
+    ])
+
+
+__all__ = [
+    "COMPLEXITY_FUNCTIONS",
+    "LibraryRegistry",
+    "TaskDefinition",
+    "TaskLibrary",
+    "TaskSignature",
+    "build_c3i_library",
+    "build_fourier_library",
+    "build_imaging_library",
+    "build_matrix_library",
+    "build_registry",
+    "compute_scale",
+    "standard_registry",
+    "validate_unique_names",
+]

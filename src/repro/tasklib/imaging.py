@@ -1,0 +1,188 @@
+"""The image-processing task library.
+
+Surveillance imagery was a staple Rome Laboratory workload and a natural
+companion to the C3I library: the paper's "large set of task libraries
+grouped in terms of their functionality" would certainly have included
+one.  Tasks operate on 2-D float arrays (grayscale images); kernels are
+implemented with NumPy stride tricks / FFT convolution, so they are
+vectorised per the HPC guides.
+
+Data convention: an *image* is an ``(h, w)`` float array in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tasklib.base import TaskDefinition, TaskSignature
+from repro.tasklib.registry import TaskLibrary
+from repro.util.errors import ExecutionError
+
+LIBRARY_NAME = "image-processing"
+
+
+def _as_image(value, task: str, port: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 2:
+        raise ExecutionError(
+            f"{task}: port {port!r} expected a 2-D image, got shape "
+            f"{arr.shape}")
+    return arr
+
+
+def _impl_image_generate(inputs: dict, params: dict) -> dict:
+    """Synthetic aerial scene: smooth background + bright blobs + noise."""
+    n = int(params.get("n", 128))
+    blobs = int(params.get("blobs", 6))
+    noise = float(params.get("noise", 0.05))
+    seed = int(params.get("seed", 0))
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:n, 0:n].astype(float) / n
+    image = 0.25 + 0.1 * np.sin(2 * np.pi * xx) * np.cos(2 * np.pi * yy)
+    for _ in range(blobs):
+        cy, cx = rng.uniform(0.1, 0.9, size=2)
+        sigma = rng.uniform(0.01, 0.04)
+        amp = rng.uniform(0.4, 0.7)
+        image += amp * np.exp(-(((yy - cy) ** 2 + (xx - cx) ** 2)
+                                / (2 * sigma**2)))
+    image += noise * rng.standard_normal((n, n))
+    return {"image": np.clip(image, 0.0, 1.0)}
+
+
+def _fft_convolve(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Same-size FFT convolution with zero padding."""
+    h, w = image.shape
+    kh, kw = kernel.shape
+    padded = np.zeros((h + kh - 1, w + kw - 1))
+    padded[:h, :w] = image
+    kpad = np.zeros_like(padded)
+    kpad[:kh, :kw] = kernel
+    out = np.fft.irfft2(np.fft.rfft2(padded) * np.fft.rfft2(kpad),
+                        s=padded.shape)
+    oy, ox = kh // 2, kw // 2
+    return out[oy:oy + h, ox:ox + w]
+
+
+def _impl_gaussian_blur(inputs: dict, params: dict) -> dict:
+    image = _as_image(inputs["image"], "gaussian-blur", "image")
+    sigma = float(params.get("sigma", 1.5))
+    if sigma <= 0:
+        raise ExecutionError("gaussian-blur: sigma must be positive")
+    radius = max(1, int(3 * sigma))
+    x = np.arange(-radius, radius + 1, dtype=float)
+    g = np.exp(-(x**2) / (2 * sigma**2))
+    kernel = np.outer(g, g)
+    kernel /= kernel.sum()
+    return {"image": _fft_convolve(image, kernel)}
+
+
+def _impl_edge_detect(inputs: dict, params: dict) -> dict:
+    """Sobel gradient magnitude."""
+    image = _as_image(inputs["image"], "edge-detect", "image")
+    sx = np.array([[-1.0, 0, 1], [-2, 0, 2], [-1, 0, 1]])
+    gx = _fft_convolve(image, sx)
+    gy = _fft_convolve(image, sx.T)
+    return {"edges": np.hypot(gx, gy)}
+
+
+def _impl_threshold_segment(inputs: dict, params: dict) -> dict:
+    image = _as_image(inputs["image"], "threshold-segment", "image")
+    quantile = float(params.get("quantile", 0.95))
+    if not 0.0 < quantile < 1.0:
+        raise ExecutionError("threshold-segment: quantile must be in (0,1)")
+    level = float(np.quantile(image, quantile))
+    return {"mask": (image >= level).astype(float)}
+
+
+def _impl_blob_count(inputs: dict, params: dict) -> dict:
+    """Connected components (4-connectivity) of a binary mask."""
+    mask = _as_image(inputs["mask"], "blob-count", "mask") > 0.5
+    labels = np.zeros(mask.shape, dtype=int)
+    current = 0
+    for y in range(mask.shape[0]):
+        for x in range(mask.shape[1]):
+            if mask[y, x] and labels[y, x] == 0:
+                current += 1
+                stack = [(y, x)]
+                labels[y, x] = current
+                while stack:
+                    cy, cx = stack.pop()
+                    for ny, nx in ((cy - 1, cx), (cy + 1, cx),
+                                   (cy, cx - 1), (cy, cx + 1)):
+                        if 0 <= ny < mask.shape[0] and \
+                                0 <= nx < mask.shape[1] and \
+                                mask[ny, nx] and labels[ny, nx] == 0:
+                            labels[ny, nx] = current
+                            stack.append((ny, nx))
+    centroids = []
+    for lbl in range(1, current + 1):
+        ys, xs = np.nonzero(labels == lbl)
+        centroids.append([float(lbl), ys.mean(), xs.mean(), len(ys)])
+    return {"blobs": np.asarray(centroids, dtype=float).reshape(-1, 4)}
+
+
+def _impl_georegister(inputs: dict, params: dict) -> dict:
+    """Map pixel centroids to ground coordinates via an affine model."""
+    blobs = np.asarray(inputs["blobs"], dtype=float)
+    if blobs.ndim != 2 or (blobs.size and blobs.shape[1] != 4):
+        raise ExecutionError(
+            f"georegister: expected (m, 4) blob array, got {blobs.shape}")
+    origin = np.asarray(params.get("origin", (43.04, -76.14)), dtype=float)
+    scale = float(params.get("meters_per_pixel", 30.0))
+    out = []
+    for lbl, py, px, size in blobs:
+        north = origin[0] + py * scale * 1e-5
+        east = origin[1] + px * scale * 1e-5
+        out.append([lbl, north, east, size])
+    return {"targets": np.asarray(out, dtype=float).reshape(-1, 4)}
+
+
+def build_imaging_library() -> TaskLibrary:
+    lib = TaskLibrary(LIBRARY_NAME,
+                      "Aerial-image exploitation (Rome Lab companion)")
+    img = dict(output_bytes_per_unit=8.0, output_complexity="quadratic",
+               memory_mb_base=1.0, memory_mb_per_unit=16e-6,
+               memory_complexity="quadratic")
+    lib.add(TaskDefinition(
+        name="image-generate", library=LIBRARY_NAME,
+        description="Synthetic aerial scene with bright blobs",
+        signature=TaskSignature(inputs=(), outputs=("image",)),
+        base_time_s=0.05, base_size=128, complexity="quadratic",
+        impl=_impl_image_generate, **img))
+    lib.add(TaskDefinition(
+        name="gaussian-blur", library=LIBRARY_NAME,
+        description="Gaussian smoothing (FFT convolution)",
+        signature=TaskSignature(inputs=("image",), outputs=("image",)),
+        base_time_s=0.15, base_size=128, complexity="nlogn",
+        parallel_capable=True, parallel_efficiency=0.8,
+        impl=_impl_gaussian_blur, **img))
+    lib.add(TaskDefinition(
+        name="edge-detect", library=LIBRARY_NAME,
+        description="Sobel gradient magnitude",
+        signature=TaskSignature(inputs=("image",), outputs=("edges",)),
+        base_time_s=0.2, base_size=128, complexity="nlogn",
+        parallel_capable=True, parallel_efficiency=0.85,
+        impl=_impl_edge_detect, **img))
+    lib.add(TaskDefinition(
+        name="threshold-segment", library=LIBRARY_NAME,
+        description="Quantile threshold to a binary mask",
+        signature=TaskSignature(inputs=("image",), outputs=("mask",)),
+        base_time_s=0.04, base_size=128, complexity="quadratic",
+        impl=_impl_threshold_segment, **img))
+    lib.add(TaskDefinition(
+        name="blob-count", library=LIBRARY_NAME,
+        description="Connected components + centroids of a mask",
+        signature=TaskSignature(inputs=("mask",), outputs=("blobs",)),
+        base_time_s=0.3, base_size=128, complexity="quadratic",
+        output_bytes_per_unit=32.0, output_complexity="constant",
+        memory_mb_base=1.0, memory_mb_per_unit=16e-6,
+        memory_complexity="quadratic",
+        impl=_impl_blob_count))
+    lib.add(TaskDefinition(
+        name="georegister", library=LIBRARY_NAME,
+        description="Affine pixel-to-ground mapping of detections",
+        signature=TaskSignature(inputs=("blobs",), outputs=("targets",)),
+        base_time_s=0.01, base_size=128, complexity="linear",
+        output_bytes_per_unit=32.0, output_complexity="constant",
+        impl=_impl_georegister))
+    return lib

@@ -1,0 +1,244 @@
+"""The matrix-operations task library.
+
+This is the library the paper's Figure 3 draws from: the Linear Equation
+Solver application selects "LU decomposition, matrix inversion, matrix
+multiplication, etc. ... from the matrix operations menu".
+
+Every task has a real NumPy implementation so applications produce
+verifiable numerics, and a 1997-calibrated performance model (base times
+chosen so a 100x100 LU takes ~1s on the dedicated base processor, in the
+ballpark of a mid-90s SPARCstation).
+
+The LU decomposition is implemented without pivoting (Doolittle), exactly
+solvable because the library's generators produce diagonally dominant
+systems; this keeps the Figure 3 dataflow (invert L and U independently,
+multiply the inverses) algebraically exact: ``A^-1 = U^-1 @ L^-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.tasklib.base import TaskDefinition, TaskSignature
+from repro.tasklib.registry import TaskLibrary
+from repro.util.errors import ExecutionError
+
+LIBRARY_NAME = "matrix-operations"
+
+
+def _as_matrix(value: Any, task: str, port: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 2:
+        raise ExecutionError(
+            f"{task}: port {port!r} expected a matrix, got shape {arr.shape}")
+    return arr
+
+
+def _as_vector(value: Any, task: str, port: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 1:
+        raise ExecutionError(
+            f"{task}: port {port!r} expected a vector, got shape {arr.shape}")
+    return arr
+
+
+# -- implementations ---------------------------------------------------------
+
+def _impl_matrix_generate(inputs: dict, params: dict) -> dict:
+    n = int(params.get("n", 100))
+    seed = int(params.get("seed", 0))
+    kind = params.get("kind", "diag-dominant")
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    if kind == "diag-dominant":
+        a += np.diag(np.abs(a).sum(axis=1) + 1.0)
+    elif kind == "spd":
+        a = a @ a.T + n * np.eye(n)
+    elif kind != "random":
+        raise ExecutionError(f"matrix-generate: unknown kind {kind!r}")
+    return {"matrix": a}
+
+
+def _impl_vector_generate(inputs: dict, params: dict) -> dict:
+    n = int(params.get("n", 100))
+    seed = int(params.get("seed", 1))
+    rng = np.random.default_rng(seed)
+    return {"vector": rng.standard_normal(n)}
+
+
+def _impl_lu(inputs: dict, params: dict) -> dict:
+    """Doolittle LU (no pivoting): A = L @ U, unit-diagonal L."""
+    a = _as_matrix(inputs["matrix"], "lu-decomposition", "matrix")
+    n = a.shape[0]
+    if a.shape[1] != n:
+        raise ExecutionError("lu-decomposition: matrix must be square")
+    lower = np.eye(n)
+    upper = a.astype(float).copy()
+    for k in range(n - 1):
+        pivot = upper[k, k]
+        if abs(pivot) < 1e-12:
+            raise ExecutionError(
+                "lu-decomposition: zero pivot (matrix must be "
+                "diagonally dominant for the unpivoted factorisation)")
+        factors = upper[k + 1:, k] / pivot
+        lower[k + 1:, k] = factors
+        upper[k + 1:, k:] -= np.outer(factors, upper[k, k:])
+        upper[k + 1:, k] = 0.0
+    return {"lower": lower, "upper": upper}
+
+
+def _impl_inverse(inputs: dict, params: dict) -> dict:
+    a = _as_matrix(inputs["matrix"], "matrix-inverse", "matrix")
+    if a.shape[0] != a.shape[1]:
+        raise ExecutionError("matrix-inverse: matrix must be square")
+    try:
+        inv = np.linalg.inv(a)
+    except np.linalg.LinAlgError as exc:
+        raise ExecutionError(f"matrix-inverse: singular matrix: {exc}") from exc
+    return {"inverse": inv}
+
+
+def _impl_multiply(inputs: dict, params: dict) -> dict:
+    a = _as_matrix(inputs["a"], "matrix-multiply", "a")
+    b = _as_matrix(inputs["b"], "matrix-multiply", "b")
+    if a.shape[1] != b.shape[0]:
+        raise ExecutionError(
+            f"matrix-multiply: shape mismatch {a.shape} @ {b.shape}")
+    return {"product": a @ b}
+
+
+def _impl_matvec(inputs: dict, params: dict) -> dict:
+    a = _as_matrix(inputs["matrix"], "matrix-vector-multiply", "matrix")
+    x = _as_vector(inputs["vector"], "matrix-vector-multiply", "vector")
+    if a.shape[1] != x.shape[0]:
+        raise ExecutionError(
+            f"matrix-vector-multiply: shape mismatch {a.shape} @ {x.shape}")
+    return {"product": a @ x}
+
+
+def _impl_add(inputs: dict, params: dict) -> dict:
+    a = _as_matrix(inputs["a"], "matrix-add", "a")
+    b = _as_matrix(inputs["b"], "matrix-add", "b")
+    if a.shape != b.shape:
+        raise ExecutionError(f"matrix-add: shape mismatch {a.shape} + {b.shape}")
+    return {"sum": a + b}
+
+
+def _impl_transpose(inputs: dict, params: dict) -> dict:
+    a = _as_matrix(inputs["matrix"], "matrix-transpose", "matrix")
+    return {"transposed": a.T.copy()}
+
+
+def _impl_triangular_solve(inputs: dict, params: dict) -> dict:
+    """Solve L y = b (lower=True) or U x = y (lower=False) by substitution."""
+    a = _as_matrix(inputs["matrix"], "triangular-solve", "matrix")
+    b = _as_vector(inputs["rhs"], "triangular-solve", "rhs")
+    lower = bool(params.get("lower", True))
+    n = a.shape[0]
+    if a.shape[1] != n or b.shape[0] != n:
+        raise ExecutionError("triangular-solve: dimension mismatch")
+    x = np.zeros(n)
+    order = range(n) if lower else range(n - 1, -1, -1)
+    for i in order:
+        if abs(a[i, i]) < 1e-12:
+            raise ExecutionError("triangular-solve: zero diagonal entry")
+        if lower:
+            s = a[i, :i] @ x[:i]
+        else:
+            s = a[i, i + 1:] @ x[i + 1:]
+        x[i] = (b[i] - s) / a[i, i]
+    return {"solution": x}
+
+
+def _impl_residual(inputs: dict, params: dict) -> dict:
+    a = _as_matrix(inputs["matrix"], "residual-norm", "matrix")
+    x = _as_vector(inputs["solution"], "residual-norm", "solution")
+    b = _as_vector(inputs["rhs"], "residual-norm", "rhs")
+    return {"norm": float(np.linalg.norm(a @ x - b))}
+
+
+# -- library construction -----------------------------------------------------
+
+def build_matrix_library() -> TaskLibrary:
+    """The matrix-operations menu of the Application Editor."""
+    lib = TaskLibrary(LIBRARY_NAME,
+                      "Dense linear algebra kernels (paper Figure 3)")
+    mat_out = dict(output_bytes_per_unit=8.0, output_complexity="quadratic",
+                   memory_mb_base=1.0, memory_mb_per_unit=24e-6,
+                   memory_complexity="quadratic")
+    vec_out = dict(output_bytes_per_unit=8.0, output_complexity="linear",
+                   memory_mb_base=0.5, memory_mb_per_unit=8e-6,
+                   memory_complexity="quadratic")
+    lib.add(TaskDefinition(
+        name="matrix-generate", library=LIBRARY_NAME,
+        description="Generate an NxN test matrix (random / diag-dominant / spd)",
+        signature=TaskSignature(inputs=(), outputs=("matrix",)),
+        base_time_s=0.05, base_size=100, complexity="quadratic",
+        impl=_impl_matrix_generate, **mat_out))
+    lib.add(TaskDefinition(
+        name="vector-generate", library=LIBRARY_NAME,
+        description="Generate a length-N random vector",
+        signature=TaskSignature(inputs=(), outputs=("vector",)),
+        base_time_s=0.005, base_size=100, complexity="linear",
+        impl=_impl_vector_generate, **vec_out))
+    lib.add(TaskDefinition(
+        name="lu-decomposition", library=LIBRARY_NAME,
+        description="Doolittle LU factorisation A = L U (no pivoting)",
+        signature=TaskSignature(inputs=("matrix",),
+                                outputs=("lower", "upper")),
+        base_time_s=1.0, base_size=100, complexity="cubic",
+        parallel_capable=True, parallel_efficiency=0.85,
+        impl=_impl_lu, **mat_out))
+    lib.add(TaskDefinition(
+        name="matrix-inverse", library=LIBRARY_NAME,
+        description="General matrix inverse",
+        signature=TaskSignature(inputs=("matrix",), outputs=("inverse",)),
+        base_time_s=1.5, base_size=100, complexity="cubic",
+        parallel_capable=True, parallel_efficiency=0.8,
+        impl=_impl_inverse, **mat_out))
+    lib.add(TaskDefinition(
+        name="matrix-multiply", library=LIBRARY_NAME,
+        description="Dense matrix-matrix product",
+        signature=TaskSignature(inputs=("a", "b"), outputs=("product",)),
+        base_time_s=0.8, base_size=100, complexity="cubic",
+        parallel_capable=True, parallel_efficiency=0.9,
+        impl=_impl_multiply, **mat_out))
+    lib.add(TaskDefinition(
+        name="matrix-vector-multiply", library=LIBRARY_NAME,
+        description="Matrix-vector product",
+        signature=TaskSignature(inputs=("matrix", "vector"),
+                                outputs=("product",)),
+        base_time_s=0.02, base_size=100, complexity="quadratic",
+        impl=_impl_matvec, **vec_out))
+    lib.add(TaskDefinition(
+        name="matrix-add", library=LIBRARY_NAME,
+        description="Elementwise matrix sum",
+        signature=TaskSignature(inputs=("a", "b"), outputs=("sum",)),
+        base_time_s=0.01, base_size=100, complexity="quadratic",
+        impl=_impl_add, **mat_out))
+    lib.add(TaskDefinition(
+        name="matrix-transpose", library=LIBRARY_NAME,
+        description="Matrix transpose",
+        signature=TaskSignature(inputs=("matrix",), outputs=("transposed",)),
+        base_time_s=0.008, base_size=100, complexity="quadratic",
+        impl=_impl_transpose, **mat_out))
+    lib.add(TaskDefinition(
+        name="triangular-solve", library=LIBRARY_NAME,
+        description="Forward/backward substitution on a triangular system",
+        signature=TaskSignature(inputs=("matrix", "rhs"),
+                                outputs=("solution",)),
+        base_time_s=0.05, base_size=100, complexity="quadratic",
+        impl=_impl_triangular_solve, **vec_out))
+    lib.add(TaskDefinition(
+        name="residual-norm", library=LIBRARY_NAME,
+        description="||A x - b||_2, the solver's verification step",
+        signature=TaskSignature(inputs=("matrix", "solution", "rhs"),
+                                outputs=("norm",)),
+        base_time_s=0.02, base_size=100, complexity="quadratic",
+        output_bytes_per_unit=8.0, output_complexity="constant",
+        memory_mb_base=0.5, memory_mb_per_unit=8e-6,
+        memory_complexity="quadratic",
+        impl=_impl_residual))
+    return lib

@@ -1,0 +1,129 @@
+"""Task-library registry: the Application Editor's menus.
+
+Paper section 2.1: "The Application Editor provides menu-driven task
+libraries that are grouped in terms of their functionality, such as the
+matrix algebra library, C3I (command and control applications) library,
+etc."  A :class:`LibraryRegistry` holds the libraries; the editor asks it
+for menus and resolves node names through it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.tasklib.base import TaskDefinition
+from repro.util.errors import ConfigurationError, UnknownTaskError
+
+
+class TaskLibrary:
+    """A functional group of tasks (one editor menu)."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name:
+            raise ConfigurationError("library name may not be empty")
+        self.name = name
+        self.description = description
+        self._tasks: dict[str, TaskDefinition] = {}
+
+    def add(self, definition: TaskDefinition) -> TaskDefinition:
+        """Register a task in this library (names unique per library)."""
+        if definition.name in self._tasks:
+            raise ConfigurationError(
+                f"library {self.name!r} already has task "
+                f"{definition.name!r}")
+        if definition.library != self.name:
+            raise ConfigurationError(
+                f"task {definition.name!r} declares library "
+                f"{definition.library!r}, not {self.name!r}")
+        self._tasks[definition.name] = definition
+        return definition
+
+    def get(self, task_name: str) -> TaskDefinition:
+        """Fetch a task from this library by name."""
+        try:
+            return self._tasks[task_name]
+        except KeyError:
+            raise UnknownTaskError(
+                f"no task {task_name!r} in library {self.name!r}") from None
+
+    def __contains__(self, task_name: str) -> bool:
+        return task_name in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def task_names(self) -> list[str]:
+        """Sorted names of this library's tasks (the menu entries)."""
+        return sorted(self._tasks)
+
+    def tasks(self) -> list[TaskDefinition]:
+        """This library's definitions, sorted by name."""
+        return [self._tasks[n] for n in self.task_names()]
+
+
+class LibraryRegistry:
+    """All libraries known to a VDCE installation.
+
+    Task names are globally unique across libraries so that an AFG node
+    can reference its task by bare name (as the paper's figures do:
+    "LU Decomposition", "Matrix Inversion", ...).
+    """
+
+    def __init__(self) -> None:
+        self._libraries: dict[str, TaskLibrary] = {}
+        self._task_index: dict[str, str] = {}  # task name -> library name
+
+    def add_library(self, library: TaskLibrary) -> TaskLibrary:
+        """Register a library; task names must be globally unique."""
+        if library.name in self._libraries:
+            raise ConfigurationError(
+                f"library {library.name!r} already registered")
+        for name in library.task_names():
+            if name in self._task_index:
+                raise ConfigurationError(
+                    f"task {name!r} already provided by library "
+                    f"{self._task_index[name]!r}")
+        self._libraries[library.name] = library
+        for name in library.task_names():
+            self._task_index[name] = library.name
+        return library
+
+    def library(self, name: str) -> TaskLibrary:
+        """Fetch a registered library by name."""
+        try:
+            return self._libraries[name]
+        except KeyError:
+            raise ConfigurationError(f"no library {name!r}") from None
+
+    def library_names(self) -> list[str]:
+        """Sorted names of the registered libraries."""
+        return sorted(self._libraries)
+
+    # -- task resolution ---------------------------------------------------
+    def resolve(self, task_name: str) -> TaskDefinition:
+        """Find a task by bare name across every library."""
+        lib_name = self._task_index.get(task_name)
+        if lib_name is None:
+            raise UnknownTaskError(
+                f"task {task_name!r} not found in any library "
+                f"(libraries: {self.library_names()})")
+        return self._libraries[lib_name].get(task_name)
+
+    def __contains__(self, task_name: str) -> bool:
+        return task_name in self._task_index
+
+    def all_tasks(self) -> list[TaskDefinition]:
+        """Every registered task, sorted by name."""
+        return [self.resolve(n) for n in sorted(self._task_index)]
+
+    def menu(self) -> dict[str, list[str]]:
+        """Library name -> task names, exactly what the editor displays."""
+        return {name: lib.task_names()
+                for name, lib in sorted(self._libraries.items())}
+
+
+def build_registry(libraries: Iterable[TaskLibrary]) -> LibraryRegistry:
+    registry = LibraryRegistry()
+    for lib in libraries:
+        registry.add_library(lib)
+    return registry

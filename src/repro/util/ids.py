@@ -1,0 +1,55 @@
+"""Deterministic identifier generation.
+
+The simulation substrate must be fully reproducible, so identifiers are
+sequential per-prefix counters rather than UUIDs.  Each :class:`IdFactory`
+is an independent namespace; the global :func:`fresh_id` helper uses a
+module-level factory that tests may reset via :func:`reset_global_ids`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import defaultdict
+
+
+class IdFactory:
+    """Thread-safe generator of ``prefix-N`` identifiers.
+
+    >>> f = IdFactory()
+    >>> f.fresh("app")
+    'app-1'
+    >>> f.fresh("app")
+    'app-2'
+    >>> f.fresh("host")
+    'host-1'
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = defaultdict(
+            lambda: itertools.count(1)
+        )
+        self._lock = threading.Lock()
+
+    def fresh(self, prefix: str) -> str:
+        """Return the next identifier for *prefix*."""
+        with self._lock:
+            return f"{prefix}-{next(self._counters[prefix])}"
+
+    def reset(self) -> None:
+        """Restart every counter at 1."""
+        with self._lock:
+            self._counters.clear()
+
+
+_GLOBAL = IdFactory()
+
+
+def fresh_id(prefix: str) -> str:
+    """Return a fresh identifier from the process-global factory."""
+    return _GLOBAL.fresh(prefix)
+
+
+def reset_global_ids() -> None:
+    """Reset the process-global factory (intended for tests)."""
+    _GLOBAL.reset()

@@ -1,0 +1,16 @@
+"""The three VDCE visualization services (performance, workload, comparative)."""
+
+from repro.viz.postmortem import RunArchive, archive_run
+from repro.viz.views import (
+    ApplicationPerformanceView,
+    ComparativeView,
+    WorkloadView,
+)
+
+__all__ = [
+    "ApplicationPerformanceView",
+    "RunArchive",
+    "archive_run",
+    "ComparativeView",
+    "WorkloadView",
+]

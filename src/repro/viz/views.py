@@ -1,0 +1,183 @@
+"""The three VDCE visualization services.
+
+Paper section 2.3.2: "There are three types of visualizations provided in
+VDCE: Application Performance Visualization ..., Workload Visualization
+..., Comparative Visualization."
+
+A 1997 Java applet drew these; here each view is a data object with a
+text renderer, so examples print them and benchmarks assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.run import ApplicationRun
+from repro.simcore.trace import Tracer
+
+
+def _bar(fraction: float, width: int = 30) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    n = round(fraction * width)
+    return "#" * n + "." * (width - n)
+
+
+@dataclass
+class ApplicationPerformanceView:
+    """Per-task execution times + Gantt rows for one run."""
+
+    run: ApplicationRun
+
+    def rows(self) -> list[dict]:
+        """Per-task timing rows sorted by start time."""
+        out = []
+        for nid, host, start, finish in self.run.task_timeline():
+            out.append({"task": nid, "host": host, "start_s": start,
+                        "finish_s": finish, "elapsed_s": finish - start})
+        return out
+
+    def render(self, width: int = 40) -> str:
+        rows = self.rows()
+        if not rows:
+            return f"[{self.run.graph.name}] no completed tasks"
+        t0 = min(r["start_s"] for r in rows)
+        t1 = max(r["finish_s"] for r in rows)
+        span = max(t1 - t0, 1e-9)
+        lines = [f"Application Performance — {self.run.graph.name} "
+                 f"(makespan {self.run.makespan:.3f}s)"]
+        name_w = max(len(r["task"]) for r in rows)
+        host_w = max(len(r["host"]) for r in rows)
+        for r in rows:
+            lead = round((r["start_s"] - t0) / span * width)
+            dur = max(1, round(r["elapsed_s"] / span * width))
+            bar = " " * lead + "█" * min(dur, width - lead)
+            lines.append(
+                f"  {r['task']:<{name_w}}  {r['host']:<{host_w}}  "
+                f"|{bar:<{width}}| {r['elapsed_s']:.3f}s")
+        return "\n".join(lines)
+
+
+@dataclass
+class WorkloadView:
+    """Up-to-date workload across VDCE resources, from the trace."""
+
+    tracer: Tracer
+    window_s: float = 60.0
+
+    def series(self, until: float | None = None) -> dict[str, list[tuple[float, float]]]:
+        """host -> [(time, load)] from the Site Managers' DB updates."""
+        out: dict[str, list[tuple[float, float]]] = {}
+        records = self.tracer.query(category="sm:db-update",
+                                    until=until if until is not None
+                                    else float("inf"))
+        for rec in records:
+            host = rec.detail["host"]
+            out.setdefault(host, []).append((rec.time, rec.detail["load"]))
+        return out
+
+    def latest(self) -> dict[str, float]:
+        """The repository's newest load value per host."""
+        return {host: pts[-1][1] for host, pts in self.series().items()}
+
+    def render(self, max_load: float = 4.0) -> str:
+        latest = self.latest()
+        if not latest:
+            return "Workload — no measurements yet"
+        lines = ["Workload Visualization (latest repository view)"]
+        host_w = max(len(h) for h in latest)
+        for host in sorted(latest):
+            load = latest[host]
+            lines.append(f"  {host:<{host_w}}  "
+                         f"[{_bar(load / max_load)}] {load:.2f}")
+        return "\n".join(lines)
+
+    #: shade ramp for the heatmap, light to dark
+    SHADES = " .:-=+*#%@"
+
+    def heatmap(self, bins: int = 40, max_load: float = 4.0,
+                until: float | None = None) -> str:
+        """Host x time load heatmap from the repository's update stream.
+
+        Each cell is the mean reported load of one host over one time
+        bin, rendered on a ten-step shade ramp; empty cells mean no
+        update landed in that bin (the significant-change filter at
+        work).
+        """
+        series = self.series(until=until)
+        if not series:
+            return "Workload heatmap — no measurements yet"
+        t1 = max(t for pts in series.values() for t, _ in pts)
+        t0 = min(t for pts in series.values() for t, _ in pts)
+        span = max(t1 - t0, 1e-9)
+        host_w = max(len(h) for h in series)
+        lines = [f"Workload heatmap  t=[{t0:.0f}s, {t1:.0f}s], "
+                 f"shade ramp '{self.SHADES}' spans load 0..{max_load}"]
+        for host in sorted(series):
+            cells = [[] for _ in range(bins)]
+            for t, load in series[host]:
+                idx = min(int((t - t0) / span * bins), bins - 1)
+                cells[idx].append(load)
+            row = []
+            for bucket in cells:
+                if not bucket:
+                    row.append(" ")
+                    continue
+                mean_load = sum(bucket) / len(bucket)
+                shade = min(int(mean_load / max_load
+                                * (len(self.SHADES) - 1)),
+                            len(self.SHADES) - 1)
+                row.append(self.SHADES[max(shade, 1)])  # visible if present
+            lines.append(f"  {host:<{host_w}} |{''.join(row)}|")
+        return "\n".join(lines)
+
+
+@dataclass
+class ComparativeView:
+    """Compare runs of the same application on different configurations.
+
+    Paper: "VDCE makes it possible for an end user to experiment and
+    evaluate his/her application for different combinations of hardware
+    and software medium."
+    """
+
+    runs: dict[str, ApplicationRun] = field(default_factory=dict)
+
+    def add(self, label: str, run: ApplicationRun) -> None:
+        """Register one configuration's run under a label."""
+        self.runs[label] = run
+
+    def table(self) -> list[dict]:
+        """Comparison rows sorted by makespan (fastest first)."""
+        rows = []
+        for label, run in self.runs.items():
+            rows.append({
+                "configuration": label,
+                "status": run.status,
+                "makespan_s": run.makespan,
+                "scheduling_s": run.scheduling_time,
+                "hosts": len(run.table.hosts()) if run.table else 0,
+                "sites": len(run.table.sites()) if run.table else 0,
+                "reschedules": run.reschedules,
+            })
+        return sorted(rows, key=lambda r: r["makespan_s"])
+
+    def best(self) -> str:
+        """The label of the fastest configuration."""
+        if not self.runs:
+            raise ValueError("no runs to compare")
+        return self.table()[0]["configuration"]
+
+    def render(self) -> str:
+        rows = self.table()
+        if not rows:
+            return "Comparative Visualization — no runs"
+        lines = ["Comparative Visualization"]
+        label_w = max(len(r["configuration"]) for r in rows)
+        worst = max(r["makespan_s"] for r in rows) or 1e-9
+        for r in rows:
+            lines.append(
+                f"  {r['configuration']:<{label_w}}  "
+                f"[{_bar(r['makespan_s'] / worst)}] "
+                f"{r['makespan_s']:.3f}s  ({r['hosts']} hosts, "
+                f"{r['sites']} sites, {r['reschedules']} resched)")
+        return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Workload and environment generators for examples, tests, benchmarks."""
+
+from repro.workloads.applications import (
+    APPLICATION_FAMILIES,
+    c3i_scenario_graph,
+    fork_join_graph,
+    fourier_pipeline_graph,
+    linear_solver_graph,
+    random_layered_graph,
+)
+from repro.workloads.player import PlayerReport, WorkloadPlayer
+from repro.workloads.environments import (
+    WORKSTATIONS,
+    nynet_testbed,
+    quiet_testbed,
+    wide_area_testbed,
+)
+
+__all__ = [
+    "APPLICATION_FAMILIES",
+    "PlayerReport",
+    "WorkloadPlayer",
+    "WORKSTATIONS",
+    "c3i_scenario_graph",
+    "fork_join_graph",
+    "fourier_pipeline_graph",
+    "linear_solver_graph",
+    "nynet_testbed",
+    "quiet_testbed",
+    "random_layered_graph",
+    "wide_area_testbed",
+]

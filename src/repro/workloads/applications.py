@@ -1,0 +1,175 @@
+"""Canonical VDCE applications.
+
+:func:`linear_solver_graph` is the paper's Figure 3 case study, built
+node-for-node (LU decomposition -> two matrix inversions -> matrix
+multiplication -> solve), optionally with the figure's property panel
+settings (parallel LU on two nodes).  The other generators produce the
+DAG families the scheduling benchmarks sweep: pipelines, fork-joins,
+diamonds, and random layered graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.afg.builder import GraphBuilder
+from repro.afg.graph import ApplicationFlowGraph
+from repro.afg.properties import TaskProperties
+from repro.tasklib.registry import LibraryRegistry
+
+
+def linear_solver_graph(registry: LibraryRegistry, n: int = 100,
+                        seed: int = 7, parallel_lu: bool = False,
+                        lu_processors: int = 2,
+                        verify: bool = True) -> ApplicationFlowGraph:
+    """The Figure 3 Linear Equation Solver: solve ``A x = b`` via LU.
+
+    Dataflow: generate A and b; factor A = L U; invert L and U
+    independently (the two parallel "Matrix Inversion" icons of the
+    figure); form ``A^-1 = U^-1 L^-1``; multiply by b.  With *verify* a
+    residual-norm task is appended as the exit node.
+    """
+    b = GraphBuilder(registry, name="linear-equation-solver")
+    b.task("matrix-generate", "gen-A", input_size=n,
+           params={"n": n, "seed": seed, "kind": "diag-dominant"})
+    b.task("vector-generate", "gen-b", input_size=n,
+           params={"n": n, "seed": seed + 1})
+    b.task("lu-decomposition", "lu", input_size=n)
+    b.task("matrix-inverse", "invert-L", input_size=n)
+    b.task("matrix-inverse", "invert-U", input_size=n)
+    b.task("matrix-multiply", "combine", input_size=n)
+    b.task("matrix-vector-multiply", "solve", input_size=n)
+    b.link("gen-A", "lu")
+    b.link("lu", "invert-L", src_port="lower")
+    b.link("lu", "invert-U", src_port="upper")
+    b.link("invert-U", "combine", dst_port="a")
+    b.link("invert-L", "combine", dst_port="b")
+    b.link("combine", "solve", dst_port="matrix")
+    b.link("gen-b", "solve", dst_port="vector")
+    if verify:
+        b.task("residual-norm", "verify", input_size=n)
+        b.link("gen-A", "verify", dst_port="matrix")
+        b.link("solve", "verify", dst_port="solution")
+        b.link("gen-b", "verify", dst_port="rhs")
+    if parallel_lu:
+        # Figure 3's popup panel: parallel LU on two (Solaris) nodes.
+        b.graph.node("lu").properties = TaskProperties(
+            computation_mode="parallel", processors=lu_processors,
+            input_size=float(n))
+    return b.build()
+
+
+def fourier_pipeline_graph(registry: LibraryRegistry, n: int = 4096,
+                           stages: int = 3) -> ApplicationFlowGraph:
+    """Signal-processing chain: generate -> FFT -> filters -> peaks."""
+    b = GraphBuilder(registry, name="fourier-pipeline")
+    b.task("signal-generate", "sig", input_size=n,
+           params={"n": n, "tones": [(50.0, 1.0), (180.0, 0.6)],
+                   "sample_rate": 1000.0})
+    b.task("fft-1d", "fft", input_size=n)
+    b.link("sig", "fft")
+    prev = "fft"
+    for i in range(stages):
+        nid = f"filter-{i}"
+        b.task("lowpass-filter", nid, input_size=n,
+               params={"cutoff_hz": 400.0 - 100.0 * i,
+                       "sample_rate": 1000.0})
+        b.link(prev, nid)
+        prev = nid
+    b.task("power-spectrum", "power", input_size=n)
+    b.task("peak-detect", "peaks", input_size=n,
+           params={"count": 2, "sample_rate": 1000.0})
+    b.link(prev, "power")
+    b.link("power", "peaks")
+    return b.build()
+
+
+def c3i_scenario_graph(registry: LibraryRegistry, targets: int = 40,
+                       steps: int = 20) -> ApplicationFlowGraph:
+    """Two-sensor surveillance scenario: scan -> track -> fuse -> plan."""
+    b = GraphBuilder(registry, name="c3i-scenario")
+    for s in ("east", "west"):
+        b.task("radar-scan", f"scan-{s}", input_size=targets,
+               params={"targets": targets, "steps": steps,
+                       "seed": 11 if s == "east" else 12})
+        b.task("track-filter", f"track-{s}", input_size=targets)
+        b.link(f"scan-{s}", f"track-{s}")
+    b.task("data-fusion", "fusion", input_size=targets)
+    b.link("track-east", "fusion", dst_port="tracks_a")
+    b.link("track-west", "fusion", dst_port="tracks_b")
+    b.task("threat-assessment", "threats", input_size=targets)
+    b.task("engagement-plan", "plan", input_size=targets,
+           params={"batteries": 4, "top_k": 8})
+    b.link("fusion", "threats")
+    b.link("threats", "plan")
+    return b.build()
+
+
+def fork_join_graph(registry: LibraryRegistry, width: int = 4,
+                    size: int = 1024) -> ApplicationFlowGraph:
+    """One source fanning out to *width* filters, joined by convolution."""
+    b = GraphBuilder(registry, name=f"fork-join-{width}")
+    b.task("signal-generate", "src", input_size=size, params={"n": size})
+    b.task("fft-1d", "fft", input_size=size)
+    b.link("src", "fft")
+    branch_tails = []
+    for i in range(width):
+        f = f"branch-{i}"
+        b.task("lowpass-filter", f, input_size=size,
+               params={"cutoff_hz": 50.0 * (i + 1)})
+        b.link("fft", f)
+        tail = f"ifft-{i}"
+        b.task("ifft-1d", tail, input_size=size)
+        b.link(f, tail)
+        branch_tails.append(tail)
+    # pairwise convolution join tree
+    level = branch_tails
+    j = 0
+    while len(level) > 1:
+        nxt = []
+        for a, c in zip(level[::2], level[1::2]):
+            nid = f"join-{j}"
+            j += 1
+            b.task("convolve", nid, input_size=size)
+            b.link(a, nid, dst_port="a")
+            b.link(c, nid, dst_port="b")
+            nxt.append(nid)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return b.build()
+
+
+def random_layered_graph(registry: LibraryRegistry, layers: int = 4,
+                         width: int = 3, size: int = 2048,
+                         seed: int = 0) -> ApplicationFlowGraph:
+    """Random layered spectral DAG (each node feeds >= 1 next-layer node)."""
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder(registry, name=f"layered-{layers}x{width}-{seed}")
+    b.task("signal-generate", "src", input_size=size, params={"n": size})
+    b.task("fft-1d", "fft", input_size=size)
+    b.link("src", "fft")
+    prev_layer = ["fft"]
+    for li in range(layers):
+        layer = []
+        for wi in range(width):
+            nid = f"n{li}-{wi}"
+            b.task("lowpass-filter", nid, input_size=size,
+                   params={"cutoff_hz": float(rng.integers(50, 500))})
+            feeder = prev_layer[int(rng.integers(len(prev_layer)))]
+            b.link(feeder, nid)
+            layer.append(nid)
+        prev_layer = layer
+    # single sink keeps the DAG connected end-to-end
+    b.task("power-spectrum", "sink", input_size=size)
+    b.link(prev_layer[0], "sink")
+    return b.build()
+
+
+APPLICATION_FAMILIES = {
+    "linear-solver": linear_solver_graph,
+    "fourier-pipeline": fourier_pipeline_graph,
+    "c3i-scenario": c3i_scenario_graph,
+    "fork-join": fork_join_graph,
+    "random-layered": random_layered_graph,
+}

@@ -1,0 +1,27 @@
+"""Shared fixtures: thin wrappers over the public repro.testing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tasklib import standard_registry
+from repro.testing import HOST_TEMPLATES, Federation, build_federation
+
+__all__ = ["Federation", "HOST_TEMPLATES", "build_federation"]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture
+def federation(registry):
+    return build_federation(registry=registry)
+
+
+@pytest.fixture
+def three_site_federation(registry):
+    return build_federation(
+        site_names=("syracuse", "rome", "buffalo"), hosts_per_site=2,
+        registry=registry)

@@ -1,0 +1,197 @@
+"""Tests for the Application Editor's modal workflow and sessions."""
+
+import pytest
+
+from repro.afg import (
+    LINK_MODE,
+    RUN_MODE,
+    TASK_MODE,
+    ApplicationEditor,
+    EditorSession,
+    TaskProperties,
+)
+from repro.repository import UserAccountsDB
+from repro.tasklib import standard_registry
+from repro.util.errors import (
+    AuthenticationError,
+    EditorModeError,
+    GraphError,
+    PortError,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture
+def editor(registry):
+    return ApplicationEditor(registry, application_name="test-app")
+
+
+class TestModes:
+    def test_starts_in_task_mode(self, editor):
+        assert editor.mode == TASK_MODE
+
+    def test_set_unknown_mode(self, editor):
+        with pytest.raises(EditorModeError):
+            editor.set_mode("paint")
+
+    def test_connect_requires_link_mode(self, editor):
+        editor.add_task("signal-generate", "s")
+        editor.add_task("fft-1d", "f")
+        with pytest.raises(EditorModeError):
+            editor.connect("s", "signal", "f", "signal")
+
+    def test_add_task_requires_task_mode(self, editor):
+        editor.set_mode(LINK_MODE)
+        with pytest.raises(EditorModeError):
+            editor.add_task("fft-1d")
+
+    def test_submit_requires_run_mode(self, editor):
+        editor.add_task("signal-generate", "s")
+        with pytest.raises(EditorModeError):
+            editor.submit()
+
+
+class TestWorkflow:
+    def build_pipeline(self, editor):
+        editor.add_task("signal-generate", "s")
+        editor.add_task("fft-1d", "f")
+        editor.add_task("power-spectrum", "p")
+        editor.set_mode(LINK_MODE)
+        editor.connect("s", "signal", "f", "signal")
+        editor.connect("f", "spectrum", "p", "spectrum")
+        editor.set_mode(RUN_MODE)
+        return editor.submit()
+
+    def test_full_workflow(self, editor):
+        graph = self.build_pipeline(editor)
+        assert len(graph) == 3
+        assert graph.name == "test-app"
+
+    def test_submit_validates(self, editor):
+        editor.add_task("fft-1d", "f")  # unconnected input
+        editor.set_mode(RUN_MODE)
+        with pytest.raises(PortError):
+            editor.submit()
+
+    def test_auto_node_ids_unique(self, editor):
+        a = editor.add_task("fft-1d")
+        b = editor.add_task("fft-1d")
+        assert a.node_id != b.node_id
+
+    def test_move_icon(self, editor):
+        editor.add_task("fft-1d", "f", position=(10.0, 20.0))
+        editor.move_icon("f", (50.0, 60.0))
+        assert editor.graph.node("f").position == (50.0, 60.0)
+
+    def test_remove_task(self, editor):
+        editor.add_task("fft-1d", "f")
+        editor.remove_task("f")
+        assert len(editor.graph) == 0
+
+    def test_menu_lists_libraries(self, editor):
+        menu = editor.menu()
+        assert "matrix-operations" in menu
+
+    def test_disconnect(self, editor):
+        editor.add_task("signal-generate", "s")
+        editor.add_task("fft-1d", "f")
+        editor.set_mode(LINK_MODE)
+        link = editor.connect("s", "signal", "f", "signal")
+        editor.disconnect(link)
+        assert editor.graph.links == []
+
+
+class TestPropertyPanel:
+    def test_set_parallel_properties(self, editor):
+        editor.add_task("lu-decomposition", "lu")
+        props = TaskProperties(computation_mode="parallel", processors=2,
+                               machine_type="sparc")
+        editor.set_properties("lu", props)
+        assert editor.get_properties("lu").processors == 2
+
+    def test_parallel_mode_rejected_for_sequential_task(self, editor):
+        editor.add_task("signal-generate", "s")
+        with pytest.raises(GraphError):
+            editor.set_properties("s", TaskProperties(
+                computation_mode="parallel", processors=2))
+
+    def test_works_in_any_mode(self, editor):
+        editor.add_task("lu-decomposition", "lu")
+        editor.set_mode(LINK_MODE)
+        editor.set_properties("lu", TaskProperties(input_size=42.0))
+        assert editor.get_properties("lu").input_size == 42.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, editor, tmp_path, registry):
+        editor.add_task("signal-generate", "s")
+        editor.add_task("fft-1d", "f")
+        editor.set_mode(LINK_MODE)
+        editor.connect("s", "signal", "f", "signal")
+        path = tmp_path / "app.json"
+        editor.save(path)
+
+        editor2 = ApplicationEditor(registry)
+        graph = editor2.load(path)
+        assert set(graph.nodes) == {"s", "f"}
+        assert len(graph.links) == 1
+
+    def test_half_finished_graph_can_be_saved(self, editor, tmp_path):
+        editor.add_task("fft-1d", "f")  # input not connected
+        editor.save(tmp_path / "draft.json")  # must not raise
+
+
+class TestEditorSession:
+    def test_login_then_open(self, registry):
+        accounts = UserAccountsDB()
+        accounts.add_user("haluk", "pw")
+        session = EditorSession(accounts, registry)
+        session.login("haluk", "pw")
+        editor = session.open_editor("my-app")
+        assert editor.graph.name == "my-app"
+
+    def test_open_without_login_rejected(self, registry):
+        session = EditorSession(UserAccountsDB(), registry)
+        with pytest.raises(EditorModeError):
+            session.open_editor()
+
+    def test_bad_login(self, registry):
+        accounts = UserAccountsDB()
+        accounts.add_user("u", "pw")
+        session = EditorSession(accounts, registry)
+        with pytest.raises(AuthenticationError):
+            session.login("u", "wrong")
+        with pytest.raises(EditorModeError):
+            session.open_editor()
+
+
+class TestTaskProperties:
+    def test_defaults_valid(self):
+        p = TaskProperties()
+        assert p.computation_mode == "sequential"
+
+    def test_invalid_mode(self):
+        with pytest.raises(Exception):
+            TaskProperties(computation_mode="quantum")
+
+    def test_sequential_with_many_processors_rejected(self):
+        with pytest.raises(Exception):
+            TaskProperties(computation_mode="sequential", processors=4)
+
+    def test_unknown_machine_type(self):
+        with pytest.raises(Exception):
+            TaskProperties(machine_type="cray")
+
+    def test_unknown_service(self):
+        with pytest.raises(Exception):
+            TaskProperties(requested_services=("teleport",))
+
+    def test_roundtrip(self):
+        p = TaskProperties(computation_mode="parallel", processors=3,
+                           params={"n": 5}, requested_services=("io",))
+        p2 = TaskProperties.from_dict(p.to_dict())
+        assert p2 == p

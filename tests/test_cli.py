@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_dialect_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["local", "--dialect", "corba"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "matrix-operations" in out
+        assert "lu-decomposition" in out
+        assert "mpi" in out
+
+    def test_solve_idle(self, capsys):
+        assert main(["solve", "--n", "40", "--idle", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "status    : completed" in out
+        assert "residual" in out
+
+    def test_solve_parallel(self, capsys):
+        assert main(["solve", "--n", "40", "--idle", "--parallel"]) == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_schedule_table(self, capsys):
+        assert main(["schedule", "--app", "linear-solver", "--size", "50",
+                     "--idle"]) == 0
+        out = capsys.readouterr().out
+        assert "resource allocation table" in out
+        assert "lu" in out
+
+    def test_schedule_queue_aware(self, capsys):
+        assert main(["schedule", "--app", "fourier-pipeline", "--idle",
+                     "--queue-aware"]) == 0
+        assert "consulted sites" in capsys.readouterr().out
+
+    def test_schedule_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--app", "quantum-sim", "--idle"])
+
+    def test_local_run(self, capsys):
+        assert main(["local", "--app", "c3i-scenario", "--size", "8",
+                     "--dialect", "mpi"]) == 0
+        out = capsys.readouterr().out
+        assert "real TCP" in out
+        assert "plan" in out
+
+    def test_monitor(self, capsys):
+        assert main(["monitor", "--duration", "30", "--policy", "ci",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Workload" in out
+        assert "reduction" in out
+
+
+class TestShowCommand:
+    def test_show_renders_graph(self, capsys):
+        assert main(["show", "--app", "linear-solver", "--size", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "[lu]" in out
+        assert "lower -->" in out
+
+    def test_show_no_ports(self, capsys):
+        assert main(["show", "--app", "c3i-scenario", "--no-ports"]) == 0
+        out = capsys.readouterr().out
+        assert "-->" in out and "lower -->" not in out
+
+
+class TestArchiveReplay:
+    def test_solve_archive_then_replay(self, capsys, tmp_path):
+        path = str(tmp_path / "run.json")
+        assert main(["solve", "--n", "40", "--idle", "--archive",
+                     path]) == 0
+        capsys.readouterr()
+        assert main(["replay", path]) == 0
+        out = capsys.readouterr().out
+        assert "Post-mortem" in out
+        assert "utilization" in out
+
+
+class TestExperimentCommand:
+    def test_monitoring_experiment(self, capsys):
+        assert main(["experiment", "monitoring"]) == 0
+        out = capsys.readouterr().out
+        assert "monitoring filter comparison" in out
+
+    def test_experiment_json_output(self, capsys):
+        assert main(["experiment", "failure-detection", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert '"rows"' in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        """`python -m repro` works as a real subprocess."""
+        import subprocess
+        import sys
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True, text=True, timeout=120)
+        assert out.returncode == 0
+        assert "matrix-operations" in out.stdout
+
+
+class TestPlanCommand:
+    def test_feasible_deadline(self, capsys):
+        assert main(["plan", "--app", "fourier-pipeline", "--size", "2048",
+                     "--deadline", "100", "--max-hosts", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "suffice" in out
+
+    def test_infeasible_deadline_exit_code(self, capsys):
+        assert main(["plan", "--app", "linear-solver", "--size", "200",
+                     "--deadline", "0.001", "--max-hosts", "2"]) == 1
+        assert "infeasible" in capsys.readouterr().out

@@ -1,0 +1,244 @@
+"""Tests for smaller code paths not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.run import ApplicationRun
+from repro.resources import HostSpec
+from repro.scheduling import HostSelector, SiteScheduler
+from repro.scheduling.makespan import evaluate_schedule
+from repro.simcore import Environment
+from repro.tasklib import TaskDefinition, validate_unique_names
+from repro.util.errors import ConfigurationError
+from repro.workloads import linear_solver_graph, quiet_testbed
+
+from .conftest import build_federation
+
+
+class TestRunRecord:
+    def test_summary_fields(self, registry):
+        v = quiet_testbed(seed=71)
+        v.start()
+        g = linear_solver_graph(v.registry, n=40)
+        run = v.run_application(g, "syracuse", max_sim_time_s=600)
+        s = run.summary()
+        assert s["application"] == "linear-equation-solver"
+        assert s["status"] == "completed"
+        assert s["tasks"] == len(g)
+        assert s["makespan_s"] > 0
+        assert s["reschedules"] == 0
+
+    def test_task_timeline_sorted(self, registry):
+        v = quiet_testbed(seed=72)
+        v.start()
+        g = linear_solver_graph(v.registry, n=40)
+        run = v.run_application(g, "syracuse", max_sim_time_s=600)
+        rows = run.task_timeline()
+        starts = [r[2] for r in rows]
+        assert starts == sorted(starts)
+        assert all(r[3] >= r[2] for r in rows)
+
+
+class TestSchedulerEdgeCases:
+    def test_unachievable_preference_recorded(self, registry):
+        """A preferred site that cannot run the task is a soft failure:
+        the task goes elsewhere and the report notes the unmet wish."""
+        fed = build_federation(registry=registry)
+        g = linear_solver_graph(registry, n=40)
+        g.node("lu").properties.preferred_site = "atlantis"  # nonexistent
+        selectors = {s: HostSelector(r)
+                     for s, r in fed.repositories.items()}
+        sched = SiteScheduler("syracuse", fed.topology, k_remote_sites=1)
+        table, report = sched.schedule_with_selectors(g, selectors)
+        assert table.get("lu").site in ("syracuse", "rome")
+        assert report.per_task_candidates["lu"].get(
+            "_preference_unmet") == 1.0
+
+    def test_timeline_total_transfer(self, registry):
+        fed = build_federation(registry=registry)
+        g = linear_solver_graph(registry, n=40)
+        g.node("lu").properties.preferred_site = "rome"
+        selectors = {s: HostSelector(r)
+                     for s, r in fed.repositories.items()}
+        table, _ = SiteScheduler("syracuse", fed.topology,
+                                 k_remote_sites=1).schedule_with_selectors(
+            g, selectors)
+        tl = evaluate_schedule(g, table, fed.topology)
+        assert tl.total_transfer() > 0  # gen-A -> lu crosses sites
+
+
+class TestSiteManagerResourceChanges:
+    def test_resource_added_and_removed(self):
+        v = quiet_testbed(seed=73)
+        v.start()
+        sm = v.site_managers["syracuse"]
+        repo = v.repositories["syracuse"].resource_performance
+        before = len(repo)
+        sm.resource_added(HostSpec(name="newbie"))
+        assert len(repo) == before + 1
+        assert "syracuse/newbie" in repo
+        sm.resource_removed("syracuse/newbie")
+        assert len(repo) == before
+
+
+class TestSimcoreEdges:
+    def test_all_of_failure_propagates(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise ValueError("child failed")
+
+        def parent(env):
+            try:
+                yield env.all_of([env.process(bad(env)),
+                                  env.timeout(5.0)])
+            except ValueError as e:
+                return f"caught: {e}"
+
+        p = env.process(parent(env))
+        assert env.run(until=p) == "caught: child failed"
+
+    def test_any_of_with_already_processed_event(self):
+        env = Environment()
+
+        def proc(env):
+            done = env.timeout(0.5)
+            yield env.timeout(1.0)  # `done` fires and is processed first
+            idx, value = yield env.any_of([done, env.timeout(10.0)])
+            return idx
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == 0
+
+    def test_failed_process_recorded(self):
+        env = Environment()
+
+        def boom(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("crash")
+
+        env.process(boom(env), name="victim")
+        env.run(until=5.0)
+        assert len(env.failed_processes) == 1
+        when, name, exc = env.failed_processes[0]
+        assert when == 1.0 and name == "victim"
+        assert isinstance(exc, RuntimeError)
+
+
+class TestTaskLibHelpers:
+    def test_validate_unique_names(self):
+        a = TaskDefinition(name="t", library="l", description="")
+        b = TaskDefinition(name="t", library="l", description="")
+        with pytest.raises(ConfigurationError):
+            validate_unique_names([a, b])
+        validate_unique_names([a])  # single is fine
+
+
+class TestLocalRunnerIOService:
+    def test_io_inputs_resolved_into_params(self, registry):
+        from repro.afg import GraphBuilder
+        from repro.runtime.local import LocalRunner
+        from repro.runtime.services import IOService
+        io = IOService()
+        io.register_value("problem-size", 32)
+        b = GraphBuilder(registry, name="io-demo")
+        b.task("matrix-generate", "g", input_size=32,
+               params={"seed": 3, "_io_inputs": {"n": "problem-size"}})
+        runner = LocalRunner(b.build(), io=io, timeout_s=20.0)
+        result = runner.run()
+        assert result.ok, result.errors
+        assert result.outputs["g"]["matrix"].shape == (32, 32)
+
+
+class TestNetworkDelayModel:
+    def test_delay_components(self):
+        v = quiet_testbed(seed=74, trace=False)
+        v.start()
+        net = v.network
+        # same host: near-zero; same site: LAN; cross site: WAN
+        local = net.delay_for("syracuse/h0/a", "syracuse/h0/b", 100)
+        lan = net.delay_for("syracuse/h0", "syracuse/h1", 100)
+        wan = net.delay_for("syracuse/h0", "rome/h0", 100)
+        assert local < lan < wan
+
+
+class TestComparativeRunsIntegration:
+    def test_comparative_view_over_real_runs(self):
+        from repro.viz import ComparativeView
+        cv = ComparativeView()
+        for label, k in (("local-only", 0), ("federated", 1)):
+            v = quiet_testbed(seed=75)
+            v.start()
+            g = linear_solver_graph(v.registry, n=50)
+            cv.add(label, v.run_application(g, "syracuse",
+                                            k_remote_sites=k,
+                                            max_sim_time_s=600))
+        table = cv.table()
+        assert len(table) == 2
+        assert cv.best() in ("local-only", "federated")
+
+
+class TestWideAreaRing:
+    def test_ring_topology_shortens_wraparound(self, registry):
+        from repro.workloads import wide_area_testbed
+        chain = wide_area_testbed(n_sites=4, seed=1, with_loads=False,
+                                  trace=False)
+        ring = wide_area_testbed(n_sites=4, seed=1, with_loads=False,
+                                 trace=False, ring=True)
+        # site0 -> site3: 3 hops on the chain, 1 hop on the ring
+        assert len(chain.topology.path("site0", "site3")) == 4
+        assert len(ring.topology.path("site0", "site3")) == 2
+        assert ring.topology.latency("site0", "site3") < \
+            chain.topology.latency("site0", "site3")
+
+
+class TestGroupManagerAllocationPush:
+    def test_portion_forwarded_to_assigned_machines(self):
+        """Direct check of Figure 6 interaction 4: the Group Manager
+        forwards each machine's related RAT portion."""
+        from repro.net import ALLOCATION_PUSH, EXECUTION_REQUEST
+        from repro.workloads import quiet_testbed
+        v = quiet_testbed(seed=111)
+        v.start()
+        gm = v.group_managers[("syracuse", "g0")]
+        v.network.send("syracuse/server/sitemgr", gm.address,
+                       ALLOCATION_PUSH,
+                       payload={"application": "x", "execution_id": "e9",
+                                "portions": {"syracuse/h1": [
+                                    {"node_id": "t", "hosts":
+                                     ["syracuse/h1"]}]},
+                                "coordinator": "syracuse/server/sitemgr"})
+        v.run(until=1.0)
+        sent = v.network.stats.by_kind.get(EXECUTION_REQUEST, 0)
+        assert sent == 1
+
+
+class TestPredictionMatchesGroundTruthSlowdown:
+    def test_memory_penalty_parity(self, registry):
+        """Predict()'s paging penalty uses the same slope as the host's
+        ground-truth slowdown, so a perfectly informed prediction matches
+        the simulator under memory pressure."""
+        from repro.prediction import MEMORY_PENALTY_SLOPE
+        from repro.resources import Host, HostSpec
+        host = Host(spec=HostSpec(name="h", memory_mb=100.0), site="s")
+        overflow_mb = 60.0
+        host.memory_used_mb = 100.0  # full
+        truth = host.slowdown(extra_memory_mb=overflow_mb)
+        predicted = 1.0 + MEMORY_PENALTY_SLOPE * overflow_mb / 100.0
+        # ground truth counts used+extra-total = 60 overflow, same formula
+        assert truth == pytest.approx(predicted)
+
+
+class TestPublicTestingHelpers:
+    def test_build_federation_importable_from_library(self):
+        """Downstream users can build fixtures without this repo's tests."""
+        from repro.testing import Federation, build_federation
+        fed = build_federation(site_names=("a", "b"), hosts_per_site=2)
+        assert isinstance(fed, Federation)
+        assert set(fed.repositories) == {"a", "b"}
+        assert len(fed.hosts_at("a")) == 2
+        # repositories are schedule-ready: calibrated + constrained
+        repo = fed.repositories["a"]
+        assert repo.task_performance.has_weight("lu-decomposition", "a/h0")
+        assert repo.task_constraints.is_runnable_on("fft-1d", "a/h1")

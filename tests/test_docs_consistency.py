@@ -1,0 +1,40 @@
+"""Repository-hygiene checks: docs and code stay in sync."""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+
+
+class TestDesignIndex:
+    def test_every_listed_bench_exists(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for match in re.findall(r"benchmarks/(bench_\w+\.py)", design):
+            assert (ROOT / "benchmarks" / match).exists(), match
+
+    def test_every_bench_is_indexed_in_design(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for bench in (ROOT / "benchmarks").glob("bench_*.py"):
+            assert bench.name in design, (
+                f"{bench.name} missing from DESIGN.md's experiment index")
+
+    def test_experiments_covers_every_figure(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for figure in ("F1", "F2", "F3", "F4", "F5", "F6", "F7",
+                       "A1", "A2", "A3", "A4", "A5", "A6"):
+            assert f"## {figure} " in experiments or \
+                f"### {figure} " in experiments, figure
+
+
+class TestReadme:
+    def test_examples_table_matches_directory(self):
+        readme = (ROOT / "README.md").read_text()
+        for example in (ROOT / "examples").glob("*.py"):
+            assert example.name in readme, (
+                f"examples/{example.name} missing from the README table")
+
+    def test_cli_commands_documented(self):
+        from repro.cli import COMMANDS
+        readme = (ROOT / "README.md").read_text()
+        documented = sum(1 for cmd in COMMANDS if f"repro {cmd}" in readme)
+        assert documented >= len(COMMANDS) - 2  # allow a couple implicit

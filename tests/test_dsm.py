@@ -1,0 +1,127 @@
+"""Tests for the DSM extension (the paper's stated future work)."""
+
+import pytest
+
+from repro.net import ATM_OC3, Topology
+from repro.runtime.data.dsm import SharedMemory
+from repro.simcore import Environment
+from repro.util.errors import RuntimeSystemError
+
+
+@pytest.fixture
+def dsm():
+    env = Environment()
+    topo = Topology()
+    for s in ("syracuse", "rome"):
+        topo.add_site(s)
+    topo.connect("syracuse", "rome", ATM_OC3)
+    return env, SharedMemory(env, topo, home_site="syracuse",
+                             value_size_bytes=1e6)
+
+
+def run_proc(env, gen):
+    proc = env.process(gen)
+    return env.run(until=proc)
+
+
+class TestSharedMemory:
+    def test_write_then_read_roundtrip(self, dsm):
+        env, mem = dsm
+
+        def scenario(env):
+            yield from mem.write("syracuse", "x", 42)
+            value = yield from mem.read("rome", "x")
+            return value
+
+        assert run_proc(env, scenario(env)) == 42
+
+    def test_read_unwritten_raises(self, dsm):
+        env, mem = dsm
+
+        def scenario(env):
+            yield from mem.read("rome", "ghost")
+
+        with pytest.raises(RuntimeSystemError):
+            run_proc(env, scenario(env))
+
+    def test_remote_miss_costs_wan_time(self, dsm):
+        env, mem = dsm
+
+        def scenario(env):
+            yield from mem.write("syracuse", "x", 1)
+            t0 = env.now
+            yield from mem.read("rome", "x")
+            return env.now - t0
+
+        elapsed = run_proc(env, scenario(env))
+        wan = mem.topology.latency("rome", "syracuse")
+        assert elapsed >= wan
+
+    def test_cached_reread_is_cheap(self, dsm):
+        env, mem = dsm
+
+        def scenario(env):
+            yield from mem.write("syracuse", "x", 1)
+            yield from mem.read("rome", "x")  # miss, fills cache
+            t0 = env.now
+            yield from mem.read("rome", "x")  # hit
+            return env.now - t0
+
+        elapsed = run_proc(env, scenario(env))
+        assert elapsed < 1e-4
+        assert mem.stats.read_hits == 1
+        assert mem.stats.read_misses == 1
+
+    def test_write_invalidates_remote_caches(self, dsm):
+        env, mem = dsm
+
+        def scenario(env):
+            yield from mem.write("syracuse", "x", 1)
+            v1 = yield from mem.read("rome", "x")
+            yield from mem.write("syracuse", "x", 2)
+            v2 = yield from mem.read("rome", "x")  # must re-fetch
+            return v1, v2
+
+        assert run_proc(env, scenario(env)) == (1, 2)
+        assert mem.stats.invalidations_sent == 1
+        assert mem.stats.read_misses == 2  # both rome reads missed
+
+    def test_hit_rate(self, dsm):
+        env, mem = dsm
+
+        def scenario(env):
+            yield from mem.write("syracuse", "x", 1)
+            for _ in range(9):
+                yield from mem.read("rome", "x")
+
+        run_proc(env, scenario(env))
+        assert mem.hit_rate() == pytest.approx(8 / 9)
+
+    def test_remote_write_pays_transfer(self, dsm):
+        env, mem = dsm
+
+        def scenario(env):
+            t0 = env.now
+            yield from mem.write("rome", "y", "payload")
+            return env.now - t0
+
+        elapsed = run_proc(env, scenario(env))
+        expected = mem.topology.transfer_time("rome", "syracuse", 1e6)
+        assert elapsed >= expected * 0.99
+
+    def test_unknown_home_site(self):
+        env = Environment()
+        topo = Topology()
+        topo.add_site("a")
+        with pytest.raises(RuntimeSystemError):
+            SharedMemory(env, topo, home_site="nowhere")
+
+    def test_peek_without_cost(self, dsm):
+        env, mem = dsm
+
+        def scenario(env):
+            yield from mem.write("syracuse", "x", {"k": 1})
+
+        run_proc(env, scenario(env))
+        assert mem.peek("x") == {"k": 1}
+        assert mem.peek("ghost") is None

@@ -1,0 +1,122 @@
+"""Tests for the programmatic experiment drivers."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    failure_detection_sweep,
+    format_table,
+    monitoring_comparison,
+    prediction_ablation,
+    scheduler_comparison,
+)
+from repro.workloads.applications import linear_solver_graph
+
+
+class TestExperimentResult:
+    def test_render_and_column(self):
+        r = ExperimentResult(name="demo",
+                             rows=[{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}])
+        text = r.render()
+        assert "demo" in text and "2.500" in text
+        assert r.column("a") == [1, 3]
+
+    def test_rows_json_serialisable(self):
+        r = monitoring_comparison(duration_s=30.0)
+        json.dumps(r.rows)  # must not raise
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table("x", [])
+
+
+class TestSchedulerComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        small = {"linear-solver": lambda reg: linear_solver_graph(reg,
+                                                                  n=120)}
+        return scheduler_comparison(seeds=(1, 2), families=small)
+
+    def test_all_schedulers_present(self, result):
+        row = result.rows[0]
+        for name in ("vdce", "vdce-queue-aware", "min-load", "round-robin",
+                     "random", "heft"):
+            assert name in row and row[name] > 0
+
+    def test_vdce_beats_random_on_solver(self, result):
+        row = result.rows[0]
+        assert row["vdce"] < row["random"]
+
+    def test_metadata(self, result):
+        assert result.metadata["seeds"] == [1, 2]
+
+
+class TestPredictionAblation:
+    def test_full_is_baseline(self):
+        small = {"linear-solver": lambda reg: linear_solver_graph(reg,
+                                                                  n=120)}
+        r = prediction_ablation(seeds=(1,), families=small)
+        by = {row["variant"]: row for row in r.rows}
+        assert by["full"]["gmean_slowdown"] == pytest.approx(1.0)
+        assert by["no-weight"]["gmean_slowdown"] >= 1.0
+
+
+class TestMonitoringComparison:
+    def test_policies_share_report_stream(self):
+        r = monitoring_comparison(duration_s=40.0)
+        reports = {row["reports"] for row in r.rows}
+        assert len(reports) == 1  # identical measurement volume
+        by = {row["policy"]: row for row in r.rows}
+        assert by["always"]["traffic_reduction"] == pytest.approx(1.0)
+        assert by["ci"]["forwarded"] < by["always"]["forwarded"]
+
+
+class TestFailureDetectionSweep:
+    def test_latency_grows_with_period(self):
+        r = failure_detection_sweep(periods=(2.0, 8.0), seeds=(1, 2))
+        assert all(row["detections"] == 2 for row in r.rows)
+        assert r.rows[1]["mean_latency_s"] > r.rows[0]["mean_latency_s"]
+
+
+class TestCapacityPlanning:
+    def test_parallel_friendly_app_needs_fewer_hosts_for_loose_deadline(
+            self):
+        from repro.experiments import capacity_plan
+        from repro.workloads import fork_join_graph
+        from repro.tasklib import standard_registry
+        graph = fork_join_graph(standard_registry(), width=4, size=2048)
+        solo = capacity_plan(graph, deadline_s=1e9, max_hosts=1)
+        assert solo.feasible and solo.hosts_needed == 1
+        serial_time = solo.predicted_s
+        # demand ~60% of the serial time: needs real parallelism
+        plan = capacity_plan(graph, deadline_s=serial_time * 0.6,
+                             max_hosts=8)
+        assert plan.feasible
+        assert plan.hosts_needed > 1
+        assert plan.predicted_s <= serial_time * 0.6
+        # the sweep is monotone non-increasing in hosts (EFT walk)
+        values = [p for _n, p in plan.sweep]
+        assert all(b <= a * 1.001 for a, b in zip(values, values[1:]))
+
+    def test_impossible_deadline_reported_infeasible(self):
+        from repro.experiments import capacity_plan
+        from repro.workloads import linear_solver_graph
+        from repro.tasklib import standard_registry
+        graph = linear_solver_graph(standard_registry(), n=200)
+        plan = capacity_plan(graph, deadline_s=1e-6, max_hosts=4)
+        assert not plan.feasible
+        assert plan.hosts_needed is None
+        assert len(plan.sweep) == 4  # tried every size
+
+    def test_validation(self):
+        from repro.experiments import capacity_plan
+        from repro.workloads import linear_solver_graph
+        from repro.tasklib import standard_registry
+        graph = linear_solver_graph(standard_registry(), n=30)
+        import pytest as _pytest
+        from repro.util.errors import ConfigurationError
+        with _pytest.raises(ConfigurationError):
+            capacity_plan(graph, deadline_s=0)
+        with _pytest.raises(ConfigurationError):
+            capacity_plan(graph, deadline_s=1.0, max_hosts=0)

@@ -1,0 +1,282 @@
+"""Tests for message-passing dialects, the real TCP backend, and the
+LocalRunner (threads + loopback sockets)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.runtime.data.messaging import (
+    DIALECTS,
+    MessageCodec,
+    get_dialect,
+    translate,
+)
+from repro.runtime.data.realsock import RealEndpoint, RealProxy
+from repro.runtime.local import LocalRunner, run_local
+from repro.util.errors import ChannelError, DataConversionError, ExecutionError
+from repro.workloads import (
+    c3i_scenario_graph,
+    fourier_pipeline_graph,
+    linear_solver_graph,
+)
+from repro.tasklib import standard_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+class TestMessageCodec:
+    @pytest.mark.parametrize("dialect", sorted(DIALECTS))
+    def test_json_roundtrip(self, dialect):
+        codec = MessageCodec(dialect)
+        value = {"a": [1, 2, 3], "b": "text", "c": None}
+        assert codec.decode(codec.encode(value)) == value
+
+    @pytest.mark.parametrize("dialect", sorted(DIALECTS))
+    @pytest.mark.parametrize("dtype", ["<f8", ">f8", "<i4", ">i4"])
+    def test_array_roundtrip_across_endianness(self, dialect, dtype):
+        codec = MessageCodec(dialect)
+        arr = np.arange(24, dtype=np.dtype(dtype)).reshape(2, 3, 4)
+        out = codec.decode(codec.encode(arr))
+        np.testing.assert_array_equal(out, arr.astype(arr.dtype.newbyteorder("=")))
+        assert out.dtype.byteorder in ("=", "|", "<" if np.little_endian
+                                       else ">")
+
+    def test_unknown_dialect(self):
+        with pytest.raises(DataConversionError):
+            get_dialect("corba")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DataConversionError):
+            MessageCodec().decode(b"NOPE" + b"\x00" * 20)
+
+    def test_truncated_rejected(self):
+        codec = MessageCodec()
+        blob = codec.encode({"x": 1})
+        with pytest.raises(DataConversionError):
+            codec.decode(blob[:-2])
+
+    def test_non_serialisable_rejected(self):
+        with pytest.raises(DataConversionError):
+            MessageCodec().encode(object())
+
+    def test_translate_between_dialects(self):
+        arr = np.linspace(0, 1, 7)
+        pvm_blob = MessageCodec("pvm").encode(arr)
+        mpi_blob = translate(pvm_blob, "pvm", "mpi")
+        out = MessageCodec("mpi").decode(mpi_blob)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_frame_reader(self):
+        codec = MessageCodec("vdce")
+        stream = codec.frame({"a": 1}) + codec.frame({"b": 2})
+        first = codec.read_frame(stream)
+        assert first is not None
+        value, rest = first
+        assert value == {"a": 1}
+        second = codec.read_frame(rest)
+        assert second[0] == {"b": 2}
+        assert codec.read_frame(second[1]) is None
+
+    def test_partial_frame_returns_none(self):
+        codec = MessageCodec("vdce")
+        blob = codec.frame({"a": 1})
+        assert codec.read_frame(blob[: len(blob) // 2]) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(hnp.arrays(dtype=st.sampled_from([np.float64, np.int32]),
+                      shape=hnp.array_shapes(max_dims=3, max_side=6)),
+           st.sampled_from(sorted(DIALECTS)))
+    def test_property_array_roundtrip(self, arr, dialect):
+        codec = MessageCodec(dialect)
+        out = codec.decode(codec.encode(arr))
+        np.testing.assert_array_equal(out, arr)
+
+
+class TestRealSockets:
+    def test_setup_and_transfer(self):
+        endpoint = RealEndpoint(name="consumer")
+        try:
+            proxy = RealProxy(endpoint.address, name="producer")
+            try:
+                proxy.setup_channel("task-b:in")
+                payload = np.arange(10.0)
+                proxy.send("task-b:in", payload)
+                got = endpoint.receive("task-b:in", timeout=5.0)
+                np.testing.assert_array_equal(got, payload)
+            finally:
+                proxy.close()
+        finally:
+            endpoint.close()
+
+    def test_multiple_channels_one_socket(self):
+        endpoint = RealEndpoint()
+        try:
+            proxy = RealProxy(endpoint.address)
+            try:
+                for key in ("x:a", "x:b"):
+                    proxy.setup_channel(key)
+                proxy.send("x:b", {"v": 2})
+                proxy.send("x:a", {"v": 1})
+                assert endpoint.receive("x:a", timeout=5.0) == {"v": 1}
+                assert endpoint.receive("x:b", timeout=5.0) == {"v": 2}
+            finally:
+                proxy.close()
+        finally:
+            endpoint.close()
+
+    def test_receive_timeout(self):
+        endpoint = RealEndpoint()
+        try:
+            with pytest.raises(ChannelError):
+                endpoint.receive("never:used", timeout=0.2)
+        finally:
+            endpoint.close()
+
+    @pytest.mark.parametrize("dialect", ["p4", "pvm", "mpi", "ncs"])
+    def test_dialects_over_the_wire(self, dialect):
+        endpoint = RealEndpoint(dialect=dialect)
+        try:
+            proxy = RealProxy(endpoint.address, dialect=dialect)
+            try:
+                proxy.setup_channel("k:p")
+                arr = np.array([[1.5, -2.5], [3.0, 4.0]])
+                proxy.send("k:p", arr)
+                np.testing.assert_array_equal(
+                    endpoint.receive("k:p", timeout=5.0), arr)
+            finally:
+                proxy.close()
+        finally:
+            endpoint.close()
+
+
+class TestLocalRunner:
+    def test_solver_runs_for_real(self, registry):
+        graph = linear_solver_graph(registry, n=30)
+        result = run_local(graph, timeout_s=30.0)
+        assert result.ok, result.errors
+        assert result.outputs["verify"]["norm"] < 1e-8
+        # every task computed, in a precedence-respecting order
+        assert sorted(result.task_order) == sorted(graph.nodes)
+        pos = {nid: i for i, nid in enumerate(result.task_order)}
+        for link in graph.links:
+            assert pos[link.src] < pos[link.dst]
+
+    def test_matches_direct_execution(self, registry):
+        """Socket-transported numerics equal in-process numerics."""
+        graph = fourier_pipeline_graph(registry, n=512, stages=1)
+        result = run_local(graph, timeout_s=30.0)
+        assert result.ok, result.errors
+        # compute the same pipeline directly
+        sig = registry.resolve("signal-generate").execute(
+            {}, dict(graph.node("sig").properties.params))["signal"]
+        spec = registry.resolve("fft-1d").execute({"signal": sig})["spectrum"]
+        filt = registry.resolve("lowpass-filter").execute(
+            {"spectrum": spec},
+            dict(graph.node("filter-0").properties.params))["spectrum"]
+        power = registry.resolve("power-spectrum").execute(
+            {"spectrum": filt})["power"]
+        peaks = registry.resolve("peak-detect").execute(
+            {"power": power},
+            dict(graph.node("peaks").properties.params))["peaks"]
+        np.testing.assert_allclose(result.outputs["peaks"]["peaks"], peaks)
+
+    @pytest.mark.parametrize("dialect", ["p4", "mpi"])
+    def test_other_dialects(self, registry, dialect):
+        graph = c3i_scenario_graph(registry, targets=8, steps=5)
+        result = run_local(graph, dialect=dialect, timeout_s=30.0)
+        assert result.ok, result.errors
+        assert result.outputs["plan"]["plan"].shape[1] == 3
+
+    def test_task_failure_reported_not_hung(self):
+        """A failing task surfaces as an error; dependents time out with a
+        diagnostic instead of deadlocking the runner."""
+        from repro.afg import GraphBuilder
+        from repro.tasklib import (
+            LibraryRegistry,
+            TaskDefinition,
+            TaskLibrary,
+            TaskSignature,
+            build_matrix_library,
+        )
+
+        def exploding(inputs, params):
+            raise ExecutionError("synthetic failure")
+
+        lib = TaskLibrary("faulty")
+        lib.add(TaskDefinition(
+            name="explode", library="faulty", description="always fails",
+            signature=TaskSignature(inputs=(), outputs=("out",)),
+            impl=exploding))
+        registry = LibraryRegistry()
+        registry.add_library(lib)
+        registry.add_library(build_matrix_library())
+        b = GraphBuilder(registry, name="will-fail")
+        b.task("explode", "boom", input_size=10)
+        b.task("matrix-inverse", "inv", input_size=10)
+        b.link("boom", "inv", dst_port="matrix")
+        result = LocalRunner(b.build(), timeout_s=2.0).run()
+        assert not result.ok
+        assert "synthetic failure" in result.errors["boom"]
+        assert "inv" in result.errors  # dependent failed fast, no hang
+
+    def test_requires_executable_tasks(self, registry):
+        from repro.afg import ApplicationFlowGraph
+        from repro.tasklib import TaskDefinition, TaskSignature
+        graph = ApplicationFlowGraph("sim-only")
+        graph.add_node("x", TaskDefinition(
+            name="sim-only-task", library="none", description="",
+            signature=TaskSignature(inputs=(), outputs=("out",))))
+        with pytest.raises(ExecutionError):
+            LocalRunner(graph)
+
+    def test_suspend_resume(self, registry):
+        import threading
+        import time
+        graph = fourier_pipeline_graph(registry, n=256, stages=1)
+        runner = LocalRunner(graph, timeout_s=30.0)
+        runner.suspend()
+        t = threading.Thread(target=runner.run, daemon=True)
+        t.start()
+        time.sleep(0.5)
+        # nothing computed while suspended
+        assert runner.result.task_order == []
+        runner.resume()
+        t.join(timeout=30.0)
+        assert not t.is_alive()
+        assert runner.result.ok, runner.result.errors
+
+
+class TestLocalRunnerStress:
+    def test_wide_fork_join_over_real_sockets(self, registry):
+        """25 tasks, 31 channels, all genuinely concurrent threads."""
+        from repro.workloads import fork_join_graph
+        graph = fork_join_graph(registry, width=8, size=512)
+        result = run_local(graph, timeout_s=60.0)
+        assert result.ok, result.errors
+        assert len(result.task_order) == len(graph)
+
+    def test_large_payload_over_sockets(self, registry):
+        """An 8 MB matrix crosses loopback TCP intact."""
+        from repro.afg import GraphBuilder
+        n = 1000  # 1000x1000 float64 = 8 MB
+        b = GraphBuilder(registry, name="big-payload")
+        b.task("matrix-generate", "g", input_size=n,
+               params={"n": n, "seed": 4, "kind": "random"})
+        b.task("matrix-transpose", "t", input_size=n)
+        b.link("g", "t")
+        result = run_local(b.build(), timeout_s=60.0)
+        assert result.ok, result.errors
+        assert result.outputs["t"]["transposed"].shape == (n, n)
+
+    def test_many_sequential_runs_release_ports(self, registry):
+        """Sockets close cleanly: 10 back-to-back runs don't exhaust fds."""
+        from repro.workloads import fourier_pipeline_graph
+        for i in range(10):
+            graph = fourier_pipeline_graph(registry, n=128, stages=1)
+            result = run_local(graph, timeout_s=30.0)
+            assert result.ok, (i, result.errors)

@@ -1,0 +1,148 @@
+"""Tests for the simulated message network."""
+
+import pytest
+
+from repro.net import ATM_OC3, Message, Network, Topology, split_address
+from repro.simcore import Environment
+from repro.util.errors import ChannelError, ConfigurationError
+
+
+def make_net() -> tuple[Environment, Network]:
+    env = Environment()
+    topo = Topology()
+    topo.add_site("s1")
+    topo.add_site("s2")
+    topo.connect("s1", "s2", ATM_OC3)
+    return env, Network(env, topo)
+
+
+class TestAddressing:
+    def test_split_host_address(self):
+        assert split_address("s1/h1") == ("s1", "s1/h1")
+
+    def test_split_service_address(self):
+        assert split_address("s1/h1/monitor") == ("s1", "s1/h1")
+
+    def test_split_site_actor(self):
+        assert split_address("s1") == ("s1", "s1")
+
+    def test_malformed(self):
+        with pytest.raises(ConfigurationError):
+            split_address("/oops")
+
+
+class TestDelivery:
+    def test_message_arrives_with_delay(self):
+        env, net = make_net()
+        box = net.register("s2/h1")
+        net.register("s1/h1")
+        net.send("s1/h1", "s2/h1", "ping", payload=123, size_bytes=0)
+        env.run()
+        msg = box.try_get()
+        assert msg is not None and msg.payload == 123
+        # WAN latency + per-message overhead
+        assert env.now >= ATM_OC3.latency_s
+
+    def test_send_to_unregistered_raises(self):
+        env, net = make_net()
+        with pytest.raises(ChannelError):
+            net.send("s1/h1", "s2/ghost", "ping")
+
+    def test_intra_host_is_fast(self):
+        env, net = make_net()
+        box = net.register("s1/h1/svc")
+        net.send("s1/h1/other", "s1/h1/svc", "local")
+        env.run()
+        assert box.try_get() is not None
+        assert env.now < 0.001
+
+    def test_larger_messages_take_longer(self):
+        env, net = make_net()
+        small = net.delay_for("s1/h1", "s2/h1", 100)
+        big = net.delay_for("s1/h1", "s2/h1", 10_000_000)
+        assert big > small
+
+    def test_multicast_reaches_all(self):
+        env, net = make_net()
+        boxes = [net.register(f"s2/h{i}") for i in range(3)]
+        net.multicast("s1/h1", [f"s2/h{i}" for i in range(3)], "afg",
+                      payload="graph")
+        env.run()
+        for box in boxes:
+            msg = box.try_get()
+            assert msg is not None and msg.payload == "graph"
+
+    def test_fifo_between_same_pair(self):
+        env, net = make_net()
+        box = net.register("s2/h1")
+
+        def sender(env):
+            for i in range(5):
+                net.send("s1/h1", "s2/h1", "seq", payload=i, size_bytes=64)
+                yield env.timeout(0.001)
+
+        env.process(sender(env))
+        env.run()
+        got = []
+        while (m := box.try_get()) is not None:
+            got.append(m.payload)
+        assert got == [0, 1, 2, 3, 4]
+
+
+class TestFailureDrops:
+    def test_down_host_drops_message(self):
+        env, net = make_net()
+        box = net.register("s2/h1")
+        net.is_up = lambda host: host != "s2/h1"
+        net.send("s1/h1", "s2/h1", "ping")
+        env.run()
+        assert box.try_get() is None
+        assert net.stats.dropped == 1
+
+    def test_down_sender_drops_message(self):
+        env, net = make_net()
+        box = net.register("s2/h1")
+        net.is_up = lambda host: host != "s1/h1"
+        net.send("s1/h1", "s2/h1", "ping")
+        env.run()
+        assert box.try_get() is None
+
+    def test_mid_flight_crash_loses_message(self):
+        env, net = make_net()
+        box = net.register("s2/h1")
+        up = {"s2/h1": True}
+        net.is_up = lambda host: up.get(host, True)
+
+        def crash(env):
+            yield env.timeout(ATM_OC3.latency_s / 2)
+            up["s2/h1"] = False
+
+        net.send("s1/h1", "s2/h1", "ping", size_bytes=0)
+        env.process(crash(env))
+        env.run()
+        assert box.try_get() is None
+
+
+class TestTrafficStats:
+    def test_counters(self):
+        env, net = make_net()
+        net.register("s2/h1")
+        net.send("s1/h1", "s2/h1", "a", size_bytes=100)
+        net.send("s1/h1", "s2/h1", "a", size_bytes=50)
+        net.send("s1/h1", "s2/h1", "b", size_bytes=25)
+        assert net.stats.messages == 3
+        assert net.stats.bytes == 175
+        assert net.stats.by_kind == {"a": 2, "b": 1}
+        assert net.stats.bytes_by_kind["a"] == 150
+
+
+class TestMessage:
+    def test_reply_swaps_addresses(self):
+        m = Message(src="a", dst="b", kind="req")
+        r = m.reply("resp", payload=1)
+        assert (r.src, r.dst, r.kind, r.payload) == ("b", "a", "resp", 1)
+
+    def test_sequence_numbers_unique(self):
+        a = Message(src="x", dst="y", kind="k")
+        b = Message(src="x", dst="y", kind="k")
+        assert a.seq != b.seq

@@ -1,0 +1,277 @@
+"""Tests for forecasting, Predict(task, R), ground truth, calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prediction import (
+    AdaptiveForecaster,
+    EWMAForecaster,
+    LastValueForecaster,
+    MeanForecaster,
+    PerformancePredictor,
+    TrendForecaster,
+    calibrate_weights,
+    make_forecaster,
+    register_tasks,
+)
+from repro.repository import ResourcePerformanceDB, TaskPerformanceDB
+from repro.resources import Host, HostSpec
+from repro.resources.groundtruth import ExecutionModel
+from repro.tasklib import standard_registry
+from repro.util.errors import ConfigurationError, NoFeasibleHostError
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+class TestForecasters:
+    def test_empty_window_forecasts_zero(self):
+        for fc in (LastValueForecaster(), MeanForecaster(),
+                   EWMAForecaster(), TrendForecaster(), AdaptiveForecaster()):
+            assert fc.forecast([]) == 0.0
+
+    def test_last_value(self):
+        assert LastValueForecaster().forecast([1.0, 2.0, 5.0]) == 5.0
+
+    def test_mean(self):
+        assert MeanForecaster().forecast([1.0, 2.0, 3.0]) == 2.0
+
+    def test_ewma_weights_recent(self):
+        rising = [0.0, 0.0, 0.0, 1.0, 1.0]
+        assert EWMAForecaster(0.5).forecast(rising) > \
+            MeanForecaster().forecast(rising)
+
+    def test_ewma_constant_series(self):
+        assert EWMAForecaster().forecast([0.7] * 10) == pytest.approx(0.7)
+
+    def test_ewma_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            EWMAForecaster(alpha=0.0)
+
+    def test_trend_extrapolates(self):
+        window = [1.0, 2.0, 3.0, 4.0]
+        assert TrendForecaster().forecast(window) == pytest.approx(5.0)
+
+    def test_trend_clamped_at_zero(self):
+        window = [3.0, 2.0, 1.0, 0.0]
+        assert TrendForecaster().forecast(window) == 0.0
+
+    def test_trend_single_sample(self):
+        assert TrendForecaster().forecast([2.0]) == 2.0
+
+    def test_adaptive_picks_trend_on_ramp(self):
+        ramp = [float(i) for i in range(10)]
+        # trend is exact on a ramp; others lag behind
+        assert AdaptiveForecaster().forecast(ramp) == pytest.approx(10.0)
+
+    def test_adaptive_short_window_falls_back_to_mean(self):
+        assert AdaptiveForecaster().forecast([4.0, 6.0]) == 5.0
+
+    def test_adaptive_backtest_errors(self):
+        errs = AdaptiveForecaster().backtest_errors([1.0, 1.0, 1.0, 1.0])
+        assert errs["last-value"] == 0.0
+
+    def test_make_forecaster(self):
+        assert make_forecaster("mean").name == "mean"
+        with pytest.raises(ConfigurationError):
+            make_forecaster("oracle")
+
+    @given(st.lists(st.floats(0, 10), min_size=1, max_size=20))
+    def test_forecasts_bounded_for_bounded_input(self, window):
+        for fc in (LastValueForecaster(), MeanForecaster(),
+                   EWMAForecaster()):
+            f = fc.forecast(window)
+            assert min(window) - 1e-9 <= f <= max(window) + 1e-9
+
+
+class TestExecutionModel:
+    def make_host(self, arch="sparc", cpu_factor=1.0) -> Host:
+        return Host(spec=HostSpec(name=f"h-{arch}", arch=arch,
+                                  os="solaris" if arch == "sparc" else "linux",
+                                  cpu_factor=cpu_factor), site="s1")
+
+    def test_deterministic(self, registry):
+        d = registry.resolve("lu-decomposition")
+        h = self.make_host()
+        m1, m2 = ExecutionModel(seed=1), ExecutionModel(seed=1)
+        assert m1.true_weight(d, h) == m2.true_weight(d, h)
+
+    def test_seed_changes_jitter(self, registry):
+        d = registry.resolve("lu-decomposition")
+        h = self.make_host()
+        assert ExecutionModel(seed=1).true_weight(d, h) != \
+            ExecutionModel(seed=2).true_weight(d, h)
+
+    def test_task_dependent_heterogeneity(self, registry):
+        """alpha beats sparc on matrix ops but loses on c3i (paper's
+        'best for one application, worst for another')."""
+        model = ExecutionModel(jitter=0.0)
+        alpha = self.make_host(arch="alpha")
+        sparc = self.make_host(arch="sparc")
+        lu = registry.resolve("lu-decomposition")
+        c3i = registry.resolve("track-filter")
+        assert model.true_weight(lu, alpha) < model.true_weight(lu, sparc)
+        assert model.true_weight(c3i, alpha) > model.true_weight(c3i, sparc)
+
+    def test_cpu_factor_scales_weight(self, registry):
+        model = ExecutionModel(jitter=0.0)
+        d = registry.resolve("fft-1d")
+        fast = self.make_host(cpu_factor=0.5)
+        slow = self.make_host(cpu_factor=2.0)
+        assert model.true_weight(d, slow) == pytest.approx(
+            4 * model.true_weight(d, fast))
+
+    def test_duration_includes_load(self, registry):
+        model = ExecutionModel(jitter=0.0)
+        d = registry.resolve("fft-1d")
+        h = self.make_host()
+        base = model.duration(d, 1024, h)
+        h.true_load = 1.0
+        assert model.duration(d, 1024, h) == pytest.approx(2 * base)
+
+    def test_parallel_duration_shorter(self, registry):
+        model = ExecutionModel(jitter=0.0)
+        d = registry.resolve("lu-decomposition")
+        h = self.make_host()
+        assert model.duration(d, 100, h, processors=4) < \
+            model.duration(d, 100, h, processors=1)
+
+    def test_bad_jitter(self):
+        with pytest.raises(ValueError):
+            ExecutionModel(jitter=1.5)
+
+
+class TestPredictor:
+    def setup_dbs(self, registry):
+        tp = TaskPerformanceDB()
+        rp = ResourcePerformanceDB()
+        register_tasks(tp, registry.all_tasks())
+        rp.register_host("s1", HostSpec(name="h1", cpu_factor=1.0,
+                                        memory_mb=128))
+        rp.register_host("s1", HostSpec(name="h2", cpu_factor=2.0,
+                                        memory_mb=128))
+        return tp, rp
+
+    def test_predict_uses_measured_weight(self, registry):
+        tp, rp = self.setup_dbs(registry)
+        tp.set_weight("fft-1d", "s1/h1", 3.0)
+        pred = PerformancePredictor(tp)
+        d = registry.resolve("fft-1d")
+        p = pred.predict(d, 1024, rp.get("s1/h1"))
+        assert p.weight == 3.0
+        assert p.estimate_s == pytest.approx(d.base_time_s * 3.0)
+
+    def test_predict_falls_back_to_cpu_factor(self, registry):
+        tp, rp = self.setup_dbs(registry)
+        pred = PerformancePredictor(tp)
+        d = registry.resolve("fft-1d")
+        p = pred.predict(d, 1024, rp.get("s1/h2"))
+        assert p.weight == 2.0
+
+    def test_load_term_stretches_estimate(self, registry):
+        tp, rp = self.setup_dbs(registry)
+        rp.update_dynamic("s1/h1", cpu_load=1.0, available_memory_mb=128,
+                          time=1.0)
+        pred = PerformancePredictor(tp)
+        d = registry.resolve("fft-1d")
+        p = pred.predict(d, 1024, rp.get("s1/h1"))
+        assert p.load_forecast == 1.0
+        assert p.estimate_s == pytest.approx(d.base_time_s * 1.0 * 2.0)
+
+    def test_memory_penalty_applied(self, registry):
+        tp, rp = self.setup_dbs(registry)
+        rp.update_dynamic("s1/h1", cpu_load=0.0, available_memory_mb=1.0,
+                          time=1.0)
+        pred = PerformancePredictor(tp)
+        d = registry.resolve("matrix-generate")  # quadratic memory model
+        p = pred.predict(d, 2000, rp.get("s1/h1"))
+        assert p.memory_penalty > 1.0
+
+    def test_ablation_toggles(self, registry):
+        tp, rp = self.setup_dbs(registry)
+        tp.set_weight("fft-1d", "s1/h1", 5.0)
+        rp.update_dynamic("s1/h1", cpu_load=2.0, available_memory_mb=0.0,
+                          time=1.0)
+        d = registry.resolve("fft-1d")
+        rec = rp.get("s1/h1")
+        blind = PerformancePredictor(tp, use_weight=False, use_load=False,
+                                     use_memory=False)
+        p = blind.predict(d, 1024, rec)
+        assert p.weight == 1.0
+        assert p.load_forecast == 0.0
+        assert p.memory_penalty == 1.0
+        assert p.estimate_s == pytest.approx(d.base_time_s)
+
+    def test_best_host_picks_minimum(self, registry):
+        tp, rp = self.setup_dbs(registry)
+        pred = PerformancePredictor(tp)
+        d = registry.resolve("fft-1d")
+        best = pred.best_host(d, 1024, rp.all_records())
+        assert best.host == "s1/h1"  # cpu_factor 1 beats 2
+
+    def test_best_host_skips_down(self, registry):
+        tp, rp = self.setup_dbs(registry)
+        rp.mark_down("s1/h1", time=1.0)
+        pred = PerformancePredictor(tp)
+        d = registry.resolve("fft-1d")
+        best = pred.best_host(d, 1024, rp.all_records())
+        assert best.host == "s1/h2"
+
+    def test_best_host_no_candidates(self, registry):
+        tp, rp = self.setup_dbs(registry)
+        rp.mark_down("s1/h1", time=1.0)
+        rp.mark_down("s1/h2", time=1.0)
+        pred = PerformancePredictor(tp)
+        with pytest.raises(NoFeasibleHostError):
+            pred.best_host(registry.resolve("fft-1d"), 1024, rp.all_records())
+
+    def test_perfect_view_predicts_exactly(self, registry):
+        """With calibrated weights, idle hosts, and ample memory, the
+        prediction equals the ground-truth dedicated duration."""
+        tp, rp = self.setup_dbs(registry)
+        model = ExecutionModel(jitter=0.1, seed=3)
+        hosts = [Host(spec=HostSpec(name="h1", cpu_factor=1.0), site="s1"),
+                 Host(spec=HostSpec(name="h2", cpu_factor=2.0), site="s1")]
+        calibrate_weights(tp, registry.all_tasks(), hosts, model)
+        pred = PerformancePredictor(tp)
+        d = registry.resolve("lu-decomposition")
+        for host in hosts:
+            p = pred.predict(d, 150, rp.get(host.address))
+            truth = model.dedicated_duration(d, 150, host)
+            assert p.estimate_s == pytest.approx(truth, rel=1e-9)
+
+
+class TestCalibration:
+    def test_register_tasks_idempotent(self, registry):
+        tp = TaskPerformanceDB()
+        register_tasks(tp, registry.all_tasks())
+        register_tasks(tp, registry.all_tasks())  # no duplicate error
+        assert len(tp.task_names()) == len(registry.all_tasks())
+
+    def test_full_coverage_seeds_all_pairs(self, registry):
+        tp = TaskPerformanceDB()
+        hosts = [Host(spec=HostSpec(name=f"h{i}"), site="s1")
+                 for i in range(3)]
+        n = calibrate_weights(tp, registry.all_tasks(), hosts,
+                              ExecutionModel())
+        assert n == len(registry.all_tasks()) * 3
+        assert tp.has_weight("lu-decomposition", "s1/h0")
+
+    def test_partial_coverage(self, registry):
+        tp = TaskPerformanceDB()
+        hosts = [Host(spec=HostSpec(name=f"h{i}"), site="s1")
+                 for i in range(4)]
+        total = len(registry.all_tasks()) * 4
+        n = calibrate_weights(tp, registry.all_tasks(), hosts,
+                              ExecutionModel(), coverage=0.5,
+                              rng=np.random.default_rng(1))
+        assert 0 < n < total
+
+    def test_bad_coverage(self, registry):
+        with pytest.raises(ValueError):
+            calibrate_weights(TaskPerformanceDB(), [], [], ExecutionModel(),
+                              coverage=1.5)

@@ -1,0 +1,339 @@
+"""Tests for the site repository's four databases."""
+
+import pytest
+
+from repro.repository import (
+    ResourcePerformanceDB,
+    SiteRepository,
+    Table,
+    TaskConstraintsDB,
+    TaskPerformanceDB,
+    UserAccountsDB,
+    composite_key,
+)
+from repro.resources import HostSpec
+from repro.util.errors import (
+    AuthenticationError,
+    NotRegisteredError,
+    RepositoryError,
+)
+
+
+class TestTable:
+    def test_put_get_delete(self):
+        t = Table("t")
+        t.put("k", {"v": 1})
+        assert t.get("k") == {"v": 1}
+        assert "k" in t and len(t) == 1
+        t.delete("k")
+        assert "k" not in t
+
+    def test_get_missing_raises(self):
+        with pytest.raises(NotRegisteredError):
+            Table("t").get("nope")
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(NotRegisteredError):
+            Table("t").delete("nope")
+
+    def test_get_or_default(self):
+        assert Table("t").get_or("nope", 42) == 42
+
+    def test_save_load_roundtrip(self, tmp_path):
+        t = Table("mytable")
+        t.put("a", [1, 2, 3])
+        t.put("b", {"x": "y"})
+        t.save(tmp_path / "t.json")
+        t2 = Table.load(tmp_path / "t.json")
+        assert t2.name == "mytable"
+        assert t2.get("a") == [1, 2, 3]
+        assert t2.get("b") == {"x": "y"}
+
+    def test_save_non_serialisable_raises(self, tmp_path):
+        t = Table("t")
+        t.put("k", object())
+        with pytest.raises(RepositoryError):
+            t.save(tmp_path / "t.json")
+
+    def test_load_garbage_raises(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("not json at all {")
+        with pytest.raises(RepositoryError):
+            Table.load(p)
+
+    def test_load_wrong_shape_raises(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"something": "else"}')
+        with pytest.raises(RepositoryError):
+            Table.load(p)
+
+    def test_composite_key(self):
+        assert composite_key("lu", "s1/h1") == "lu|s1/h1"
+
+    def test_composite_key_rejects_separator(self):
+        with pytest.raises(RepositoryError):
+            composite_key("a|b", "c")
+
+
+class TestUserAccounts:
+    def test_add_and_authenticate(self):
+        db = UserAccountsDB()
+        acct = db.add_user("haluk", "secret", priority=7,
+                           access_domain="multi-site")
+        assert acct.user_id == 1
+        assert acct.priority == 7
+        got = db.authenticate("haluk", "secret")
+        assert got.user_name == "haluk"
+
+    def test_wrong_password_rejected(self):
+        db = UserAccountsDB()
+        db.add_user("u", "right")
+        with pytest.raises(AuthenticationError):
+            db.authenticate("u", "wrong")
+
+    def test_unknown_user_rejected_same_message(self):
+        db = UserAccountsDB()
+        db.add_user("u", "pw")
+        try:
+            db.authenticate("ghost", "pw")
+        except AuthenticationError as e1:
+            try:
+                db.authenticate("u", "bad")
+            except AuthenticationError as e2:
+                assert str(e1) == str(e2)  # no user-existence oracle
+
+    def test_password_not_stored_plaintext(self):
+        db = UserAccountsDB()
+        acct = db.add_user("u", "topsecret")
+        assert "topsecret" not in acct.password_hash
+        assert "topsecret" not in acct.password_salt
+
+    def test_duplicate_user_rejected(self):
+        db = UserAccountsDB()
+        db.add_user("u", "pw")
+        with pytest.raises(RepositoryError):
+            db.add_user("u", "pw2")
+
+    def test_bad_domain_and_priority(self):
+        db = UserAccountsDB()
+        with pytest.raises(RepositoryError):
+            db.add_user("u", "pw", access_domain="galactic")
+        with pytest.raises(RepositoryError):
+            db.add_user("u2", "pw", priority=11)
+
+    def test_user_ids_increment(self):
+        db = UserAccountsDB()
+        a = db.add_user("a", "x")
+        b = db.add_user("b", "x")
+        assert (a.user_id, b.user_id) == (1, 2)
+
+    def test_remove_user(self):
+        db = UserAccountsDB()
+        db.add_user("u", "pw")
+        db.remove_user("u")
+        assert "u" not in db
+
+    def test_save_load_preserves_auth(self, tmp_path):
+        db = UserAccountsDB()
+        db.add_user("u", "pw")
+        db.save(tmp_path / "users.json")
+        db2 = UserAccountsDB.load(tmp_path / "users.json")
+        assert db2.authenticate("u", "pw").user_name == "u"
+        # new ids continue after the loaded maximum
+        assert db2.add_user("v", "pw").user_id == 2
+
+
+class TestResourcePerformance:
+    def test_register_and_get(self):
+        db = ResourcePerformanceDB()
+        rec = db.register_host("s1", HostSpec(name="h1", memory_mb=256))
+        assert rec.address == "s1/h1"
+        assert db.get("s1/h1").total_memory_mb == 256
+        assert db.get("s1/h1").available_memory_mb == 256
+
+    def test_update_dynamic(self):
+        db = ResourcePerformanceDB()
+        db.register_host("s1", HostSpec(name="h1"))
+        db.update_dynamic("s1/h1", cpu_load=0.8, available_memory_mb=64,
+                          time=12.0)
+        rec = db.get("s1/h1")
+        assert rec.cpu_load == 0.8
+        assert rec.last_update == 12.0
+        assert rec.load_window == [0.8]
+
+    def test_load_window_bounded(self):
+        db = ResourcePerformanceDB(window=3)
+        db.register_host("s1", HostSpec(name="h1"))
+        for i in range(10):
+            db.update_dynamic("s1/h1", float(i), 10.0, time=float(i))
+        rec = db.get("s1/h1")
+        assert rec.load_window == [7.0, 8.0, 9.0]
+        assert rec.load_window_times == [7.0, 8.0, 9.0]
+
+    def test_mark_down_up(self):
+        db = ResourcePerformanceDB()
+        db.register_host("s1", HostSpec(name="h1"))
+        db.mark_down("s1/h1", time=5.0)
+        assert db.get("s1/h1").status == "down"
+        assert db.hosts_at("s1") == []
+        assert len(db.hosts_at("s1", include_down=True)) == 1
+        db.mark_up("s1/h1", time=9.0)
+        assert db.get("s1/h1").status == "up"
+
+    def test_hosts_at_filters_site(self):
+        db = ResourcePerformanceDB()
+        db.register_host("s1", HostSpec(name="h1"))
+        db.register_host("s2", HostSpec(name="h1"))
+        assert [r.address for r in db.hosts_at("s1")] == ["s1/h1"]
+
+    def test_unregister(self):
+        db = ResourcePerformanceDB()
+        db.register_host("s1", HostSpec(name="h1"))
+        db.unregister_host("s1/h1")
+        assert "s1/h1" not in db
+        with pytest.raises(NotRegisteredError):
+            db.unregister_host("s1/h1")
+
+    def test_save_load(self, tmp_path):
+        db = ResourcePerformanceDB()
+        db.register_host("s1", HostSpec(name="h1", arch="x86", os="linux"))
+        db.update_dynamic("s1/h1", 0.5, 100, time=3.0)
+        db.save(tmp_path / "r.json")
+        db2 = ResourcePerformanceDB.load(tmp_path / "r.json")
+        rec = db2.get("s1/h1")
+        assert rec.arch == "x86" and rec.cpu_load == 0.5
+
+
+class TestTaskPerformance:
+    def test_register_and_get(self):
+        db = TaskPerformanceDB()
+        db.register_task("lu", base_time_s=2.0, computation_size=3.0,
+                         communication_size=8.0, memory_mb=16.0)
+        rec = db.get("lu")
+        assert rec.base_time_s == 2.0
+        assert "lu" in db
+
+    def test_duplicate_rejected(self):
+        db = TaskPerformanceDB()
+        db.register_task("lu", 1.0)
+        with pytest.raises(RepositoryError):
+            db.register_task("lu", 1.0)
+
+    def test_nonpositive_base_time_rejected(self):
+        with pytest.raises(RepositoryError):
+            TaskPerformanceDB().register_task("lu", 0.0)
+
+    def test_weights(self):
+        db = TaskPerformanceDB()
+        db.register_task("lu", 1.0)
+        db.set_weight("lu", "s1/h1", 1.5)
+        assert db.weight("lu", "s1/h1") == 1.5
+        assert db.weight("lu", "s1/h2", default=2.0) == 2.0
+        with pytest.raises(NotRegisteredError):
+            db.weight("lu", "s1/h2")
+
+    def test_weight_requires_registered_task(self):
+        db = TaskPerformanceDB()
+        with pytest.raises(NotRegisteredError):
+            db.set_weight("ghost", "s1/h1", 1.0)
+
+    def test_nonpositive_weight_rejected(self):
+        db = TaskPerformanceDB()
+        db.register_task("lu", 1.0)
+        with pytest.raises(RepositoryError):
+            db.set_weight("lu", "s1/h1", 0.0)
+
+    def test_record_execution_seeds_weight(self):
+        db = TaskPerformanceDB()
+        db.register_task("lu", base_time_s=2.0)
+        # dedicated run of size-3 input took 12s -> weight = 12/(2*3) = 2.0
+        db.record_execution("lu", "s1/h1", input_size=3.0, elapsed_s=14.0,
+                            time=1.0, dedicated_elapsed_s=12.0)
+        assert db.weight("lu", "s1/h1") == pytest.approx(2.0)
+
+    def test_record_execution_ewma_refinement(self):
+        db = TaskPerformanceDB()
+        db.register_task("lu", base_time_s=1.0)
+        db.set_weight("lu", "s1/h1", 1.0)
+        db.record_execution("lu", "s1/h1", input_size=1.0, elapsed_s=3.0,
+                            time=1.0, dedicated_elapsed_s=3.0)
+        # EWMA: 0.7*1.0 + 0.3*3.0 = 1.6
+        assert db.weight("lu", "s1/h1") == pytest.approx(1.6)
+
+    def test_history_filtering(self):
+        db = TaskPerformanceDB()
+        db.register_task("lu", 1.0)
+        db.record_execution("lu", "s1/h1", 1.0, 2.0, time=0.0)
+        db.record_execution("lu", "s1/h2", 1.0, 3.0, time=1.0)
+        assert len(db.history("lu")) == 2
+        assert [s.host for s in db.history("lu", host="s1/h2")] == ["s1/h2"]
+
+    def test_save_load(self, tmp_path):
+        db = TaskPerformanceDB()
+        db.register_task("lu", 2.0, memory_mb=32)
+        db.set_weight("lu", "s1/h1", 1.2)
+        db.record_execution("lu", "s1/h1", 1.0, 2.5, time=0.5)
+        db.save(tmp_path / "t.json")
+        db2 = TaskPerformanceDB.load(tmp_path / "t.json")
+        assert db2.get("lu").memory_mb == 32
+        assert db2.weight("lu", "s1/h1") == 1.2
+        assert len(db2.history("lu")) == 1
+
+
+class TestTaskConstraints:
+    def test_register_and_query(self):
+        db = TaskConstraintsDB()
+        db.register_executable("lu", "s1/h1", "/usr/vdce/bin/lu")
+        assert db.is_runnable_on("lu", "s1/h1")
+        assert not db.is_runnable_on("lu", "s1/h2")
+        assert db.executable_path("lu", "s1/h1") == "/usr/vdce/bin/lu"
+        assert db.hosts_with("lu") == {"s1/h1"}
+
+    def test_missing_executable_raises(self):
+        db = TaskConstraintsDB()
+        with pytest.raises(NotRegisteredError):
+            db.executable_path("lu", "s1/h1")
+
+    def test_unregister(self):
+        db = TaskConstraintsDB()
+        db.register_executable("lu", "s1/h1", "/bin/lu")
+        db.unregister_executable("lu", "s1/h1")
+        assert db.hosts_with("lu") == set()
+
+    def test_tasks_on_host(self):
+        db = TaskConstraintsDB()
+        db.register_executable("lu", "s1/h1", "/bin/lu")
+        db.register_executable("fft", "s1/h1", "/bin/fft")
+        db.register_executable("fft", "s1/h2", "/bin/fft")
+        assert db.tasks_on("s1/h1") == {"lu", "fft"}
+        assert db.tasks_on("s1/h2") == {"fft"}
+
+    def test_save_load(self, tmp_path):
+        db = TaskConstraintsDB()
+        db.register_executable("lu", "s1/h1", "/bin/lu")
+        db.save(tmp_path / "c.json")
+        db2 = TaskConstraintsDB.load(tmp_path / "c.json")
+        assert db2.hosts_with("lu") == {"s1/h1"}
+
+
+class TestSiteRepository:
+    def test_bundles_four_databases(self):
+        repo = SiteRepository("s1")
+        assert repo.site == "s1"
+        repo.user_accounts.add_user("u", "pw")
+        repo.resource_performance.register_host("s1", HostSpec(name="h1"))
+        repo.task_performance.register_task("lu", 1.0)
+        repo.task_constraints.register_executable("lu", "s1/h1", "/bin/lu")
+
+    def test_save_load_roundtrip(self, tmp_path):
+        repo = SiteRepository("s1")
+        repo.user_accounts.add_user("u", "pw")
+        repo.resource_performance.register_host("s1", HostSpec(name="h1"))
+        repo.task_performance.register_task("lu", 1.0)
+        repo.task_constraints.register_executable("lu", "s1/h1", "/bin/lu")
+        repo.save(tmp_path / "repo")
+        loaded = SiteRepository.load("s1", tmp_path / "repo")
+        assert loaded.user_accounts.authenticate("u", "pw")
+        assert loaded.resource_performance.get("s1/h1")
+        assert loaded.task_performance.get("lu")
+        assert loaded.task_constraints.is_runnable_on("lu", "s1/h1")

@@ -1,0 +1,143 @@
+"""Tests for the web-based repository interface (real HTTP)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.repository import SiteRepository
+from repro.repository.webserver import RepositoryWebServer
+from repro.resources import HostSpec
+
+
+@pytest.fixture
+def server():
+    repo = SiteRepository("syracuse")
+    repo.user_accounts.add_user("haluk", "secret", priority=7,
+                                access_domain="multi-site")
+    repo.resource_performance.register_host(
+        "syracuse", HostSpec(name="h1", arch="sparc", os="solaris"))
+    repo.resource_performance.update_dynamic("syracuse/h1", 0.4, 96.0,
+                                             time=3.0)
+    repo.task_performance.register_task("lu-decomposition", 1.0,
+                                        memory_mb=24.0)
+    repo.task_performance.record_execution("lu-decomposition",
+                                           "syracuse/h1", 100.0, 1.2,
+                                           time=5.0)
+    repo.task_constraints.register_executable("lu-decomposition",
+                                              "syracuse/h1", "/bin/lu")
+    web = RepositoryWebServer(repo)
+    yield web
+    web.close()
+
+
+def get(server, path):
+    with urllib.request.urlopen(f"{server.url}{path}", timeout=5) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def post(server, path, doc):
+    req = urllib.request.Request(
+        f"{server.url}{path}", data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(req, timeout=5) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestReadEndpoints:
+    def test_index(self, server):
+        status, doc = get(server, "/")
+        assert status == 200
+        assert doc["site"] == "syracuse"
+        assert "/resource-performance" in doc["endpoints"]
+
+    def test_resource_performance_list(self, server):
+        status, doc = get(server, "/resource-performance")
+        assert status == 200
+        assert len(doc) == 1
+        assert doc[0]["host_name"] == "h1"
+        assert doc[0]["cpu_load"] == 0.4
+
+    def test_single_host_record(self, server):
+        status, doc = get(server, "/resource-performance/syracuse/h1")
+        assert status == 200
+        assert doc["arch"] == "sparc"
+        assert doc["available_memory_mb"] == 96.0
+
+    def test_missing_host_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            get(server, "/resource-performance/syracuse/ghost")
+        assert exc.value.code == 404
+
+    def test_task_performance_listing(self, server):
+        status, doc = get(server, "/task-performance")
+        assert status == 200
+        assert doc["tasks"] == ["lu-decomposition"]
+
+    def test_task_record_with_history(self, server):
+        status, doc = get(server, "/task-performance/lu-decomposition")
+        assert status == 200
+        assert doc["record"]["memory_mb"] == 24.0
+        assert len(doc["executions"]) == 1
+        assert doc["executions"][0]["host"] == "syracuse/h1"
+
+    def test_task_constraints(self, server):
+        status, doc = get(server, "/task-constraints/lu-decomposition")
+        assert status == 200
+        assert doc["hosts"] == ["syracuse/h1"]
+
+    def test_unknown_endpoint_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            get(server, "/nonsense")
+        assert exc.value.code == 404
+
+
+class TestLogin:
+    def test_valid_login(self, server):
+        status, doc = post(server, "/login",
+                           {"user": "haluk", "password": "secret"})
+        assert status == 200
+        assert doc["user_name"] == "haluk"
+        assert doc["priority"] == 7
+        assert "password" not in json.dumps(doc)
+
+    def test_invalid_login_401(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            post(server, "/login", {"user": "haluk", "password": "wrong"})
+        assert exc.value.code == 401
+
+    def test_malformed_body_400(self, server):
+        req = urllib.request.Request(
+            f"{server.url}/login", data=b"not json",
+            headers={"Content-Type": "application/json"}, method="POST")
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=5)
+        assert exc.value.code == 400
+
+    def test_post_to_wrong_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            post(server, "/resource-performance", {})
+        assert exc.value.code == 404
+
+
+class TestLifecycle:
+    def test_close_releases_port(self):
+        repo = SiteRepository("s1")
+        web = RepositoryWebServer(repo)
+        host, port = web.address
+        web.close()
+        # a fresh server can bind the same port immediately
+        import socket
+        with socket.socket() as sock:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, port))
+
+    def test_reflects_live_updates(self, server):
+        """The web view is the live repository, not a snapshot."""
+        # the fixture's repo object is reachable through the handler class
+        repo = server._httpd.RequestHandlerClass.repository
+        repo.resource_performance.update_dynamic("syracuse/h1", 2.5, 10.0,
+                                                 time=9.0)
+        _status, doc = get(server, "/resource-performance/syracuse/h1")
+        assert doc["cpu_load"] == 2.5

@@ -1,0 +1,296 @@
+"""Tests for the Data Manager, conversion, and runtime services."""
+
+import numpy as np
+import pytest
+
+from repro.net import ATM_OC3, Network, Topology
+from repro.resources import Host, HostSpec
+from repro.runtime.data.conversion import (
+    conversion_cost_s,
+    conversion_needed,
+    convert,
+)
+from repro.runtime.data.data_manager import ChannelSpec, DataManager
+from repro.runtime.services import ConsoleService, IOService
+from repro.simcore import Environment
+from repro.util.errors import (
+    ChannelError,
+    ConsoleError,
+    DataConversionError,
+    RuntimeSystemError,
+)
+
+
+class TestConversion:
+    def test_needed_only_when_orders_differ(self):
+        assert conversion_needed("big", "little")
+        assert not conversion_needed("big", "big")
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(DataConversionError):
+            conversion_needed("middle", "big")
+
+    def test_cost_zero_when_same_order(self):
+        assert conversion_cost_s(1e6, "big", "big") == 0.0
+
+    def test_cost_proportional_to_size(self):
+        c1 = conversion_cost_s(1e6, "big", "little")
+        c2 = conversion_cost_s(2e6, "big", "little")
+        assert c2 == pytest.approx(2 * c1)
+        assert c1 > 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(DataConversionError):
+            conversion_cost_s(-1, "big", "little")
+
+    def test_array_conversion_preserves_values(self):
+        arr = np.array([1.5, -2.25, 3e10])
+        out = convert(arr, "big", "little")
+        np.testing.assert_array_equal(out, arr)
+
+    def test_non_array_passthrough(self):
+        assert convert({"a": 1}, "big", "little") == {"a": 1}
+
+
+def make_pair():
+    """Two hosts on different sites with live Data Managers."""
+    env = Environment()
+    topo = Topology()
+    topo.add_site("s1")
+    topo.add_site("s2")
+    topo.connect("s1", "s2", ATM_OC3)
+    net = Network(env, topo)
+    h1 = Host(spec=HostSpec(name="h1", arch="sparc"), site="s1")
+    h2 = Host(spec=HostSpec(name="h2", arch="x86", os="linux"), site="s2")
+    orders = {"s1/h1": "big", "s2/h2": "little"}
+    dm1 = DataManager(env, net, h1, byte_orders=orders)
+    dm2 = DataManager(env, net, h2, byte_orders=orders)
+    return env, net, dm1, dm2
+
+
+def spec(execution="e1", src_host="s1/h1", dst_host="s2/h2") -> ChannelSpec:
+    return ChannelSpec(execution_id=execution, src_node="a", src_port="out",
+                       src_host=src_host, dst_node="b", dst_port="in",
+                       dst_host=dst_host)
+
+
+class TestDataManager:
+    def test_setup_handshake_round_trip(self):
+        env, net, dm1, dm2 = make_pair()
+        s = spec()
+        proc = env.process(dm1.setup_channels([s]))
+        env.run(until=proc)
+        assert dm1.stats.setups_requested == 1
+        assert dm2.stats.channels_opened == 1
+        # handshake costs at least one WAN round trip
+        assert env.now >= 2 * ATM_OC3.latency_s
+
+    def test_send_and_receive_value(self):
+        env, net, dm1, dm2 = make_pair()
+        s = spec()
+        env.run(until=env.process(dm1.setup_channels([s])))
+        got = []
+
+        def consumer(env):
+            payload = yield dm2.receive("e1", "b", "in")
+            got.append(payload)
+
+        env.process(consumer(env))
+        env.run(until=env.process(dm1.send_output(
+            s, np.arange(4.0), size_bytes=1000)))
+        env.run(until=env.now + 1.0)
+        assert got and got[0]["src_node"] == "a"
+        np.testing.assert_array_equal(got[0]["value"], np.arange(4.0))
+
+    def test_heterogeneous_send_pays_conversion(self):
+        env, net, dm1, dm2 = make_pair()
+        s = spec()
+        env.run(until=env.process(dm1.setup_channels([s])))
+        t0 = env.now
+        env.run(until=env.process(dm1.send_output(s, None, 40e6)))
+        assert dm1.stats.conversions == 1
+        assert env.now - t0 >= 1.0  # 40 MB at 40 MB/s modelled swap rate
+
+    def test_homogeneous_send_pays_nothing(self):
+        env = Environment()
+        topo = Topology()
+        topo.add_site("s1")
+        net = Network(env, topo)
+        h1 = Host(spec=HostSpec(name="h1"), site="s1")
+        h2 = Host(spec=HostSpec(name="h2"), site="s1")
+        orders = {"s1/h1": "big", "s1/h2": "big"}
+        dm1 = DataManager(env, net, h1, byte_orders=orders)
+        dm2 = DataManager(env, net, h2, byte_orders=orders)
+        s = spec(dst_host="s1/h2")
+        env.run(until=env.process(dm1.setup_channels([s])))
+        env.run(until=env.process(dm1.send_output(s, None, 40e6)))
+        assert dm1.stats.conversions == 0
+
+    def test_local_channel_no_handshake(self):
+        env, net, dm1, dm2 = make_pair()
+        local = spec(dst_host="s1/h1")
+        dm1.open_endpoint(local)
+        proc = env.process(dm1.setup_channels([local]))
+        env.run(until=proc)
+        assert dm1.stats.setups_requested == 0
+
+    def test_open_endpoint_wrong_host_rejected(self):
+        env, net, dm1, dm2 = make_pair()
+        with pytest.raises(ChannelError):
+            dm1.open_endpoint(spec())  # dst is h2, not h1
+
+    def test_open_endpoint_idempotent(self):
+        """Producer handshake and consumer controller race to open the
+        endpoint; the second opener must get the same store."""
+        env, net, dm1, dm2 = make_pair()
+        first = dm2.open_endpoint(spec())
+        second = dm2.open_endpoint(spec())
+        assert first is second
+        assert dm2.stats.channels_opened == 1
+
+    def test_orphan_data_dropped(self):
+        env, net, dm1, dm2 = make_pair()
+        s = spec()
+        env.run(until=env.process(dm1.setup_channels([s])))
+        dm2.close_execution("e1")
+        env.run(until=env.process(dm1.send_output(s, 1, 100)))
+        env.run(until=env.now + 1.0)
+        with pytest.raises(ChannelError):
+            dm2.endpoint(s.key)
+
+    def test_close_execution_scoped(self):
+        env, net, dm1, dm2 = make_pair()
+        s1 = spec(execution="e1")
+        s2 = spec(execution="e2")
+        dm2.open_endpoint(s1)
+        dm2.open_endpoint(s2)
+        dm2.close_execution("e1")
+        dm2.endpoint(s2.key)  # still open
+        with pytest.raises(ChannelError):
+            dm2.endpoint(s1.key)
+
+    def test_setup_wrong_origin_rejected(self):
+        env, net, dm1, dm2 = make_pair()
+        with pytest.raises(ChannelError):
+            env.run(until=env.process(dm2.setup_channels([spec()])))
+
+
+class TestIOService:
+    def test_register_value(self):
+        io = IOService()
+        io.register_value("matrix", [[1, 2]])
+        assert io.resolve("matrix") == [[1, 2]]
+        assert "matrix" in io
+
+    def test_missing_input(self):
+        with pytest.raises(RuntimeSystemError):
+            IOService().resolve("ghost")
+
+    def test_json_file(self, tmp_path):
+        p = tmp_path / "in.json"
+        p.write_text('{"n": 5}')
+        io = IOService()
+        io.register_file("config", p)
+        assert io.resolve("config") == {"n": 5}
+
+    def test_npy_file(self, tmp_path):
+        p = tmp_path / "arr.npy"
+        np.save(p, np.arange(3))
+        io = IOService()
+        io.register_file("arr", p)
+        np.testing.assert_array_equal(io.resolve("arr"), np.arange(3))
+
+    def test_unsupported_suffix(self, tmp_path):
+        p = tmp_path / "x.csv"
+        p.write_text("1,2")
+        io = IOService()
+        io.register_file("x", p)
+        with pytest.raises(RuntimeSystemError):
+            io.resolve("x")
+
+    def test_missing_file(self, tmp_path):
+        io = IOService()
+        io.register_file("x", tmp_path / "nope.json")
+        with pytest.raises(RuntimeSystemError):
+            io.resolve("x")
+
+    def test_provider(self):
+        io = IOService()
+        io.register_provider("gen", lambda: 42)
+        assert io.resolve("gen") == 42
+
+
+class TestConsoleService:
+    def test_lifecycle(self):
+        env = Environment()
+        c = ConsoleService(env)
+        c.start()
+        c.suspend()
+        assert c.is_suspended
+        c.resume()
+        c.complete()
+        assert c.state == "completed"
+
+    def test_invalid_transitions(self):
+        env = Environment()
+        c = ConsoleService(env)
+        with pytest.raises(ConsoleError):
+            c.suspend()  # not started
+        c.start()
+        c.complete()
+        with pytest.raises(ConsoleError):
+            c.resume()
+
+    def test_gate_blocks_until_resume(self):
+        env = Environment()
+        c = ConsoleService(env)
+        c.start()
+        passed = []
+
+        def worker(env):
+            yield env.timeout(1.0)
+            yield from c.wait_if_suspended()
+            passed.append(env.now)
+
+        def operator(env):
+            c.suspend()
+            yield env.timeout(10.0)
+            c.resume()
+
+        env.process(worker(env))
+        env.process(operator(env))
+        env.run()
+        assert passed == [10.0]
+
+    def test_suspended_time_accounting(self):
+        env = Environment()
+        c = ConsoleService(env)
+        c.start()
+
+        def script(env):
+            yield env.timeout(5.0)
+            c.suspend()
+            yield env.timeout(3.0)
+            c.resume()
+            yield env.timeout(2.0)
+            c.complete()
+
+        env.process(script(env))
+        env.run()
+        assert c.suspended_time() == pytest.approx(3.0)
+
+    def test_abort_releases_gate(self):
+        env = Environment()
+        c = ConsoleService(env)
+        c.start()
+        c.suspend()
+        done = []
+
+        def worker(env):
+            yield from c.wait_if_suspended()
+            done.append(c.state)
+
+        env.process(worker(env))
+        c.abort()
+        env.run()
+        assert done == ["aborted"]

@@ -1,0 +1,93 @@
+"""Tests for the HEFT comparator."""
+
+import pytest
+
+from repro.scheduling import HeftScheduler, evaluate_schedule
+from repro.scheduling.heft import _HostSchedule
+from repro.util.errors import NoFeasibleHostError
+from repro.workloads import fork_join_graph, linear_solver_graph
+
+from .conftest import build_federation
+
+
+@pytest.fixture
+def fed(registry):
+    return build_federation(registry=registry)
+
+
+class TestHostSchedule:
+    def test_empty_host_starts_at_ready(self):
+        hs = _HostSchedule()
+        assert hs.earliest_slot(5.0, 2.0) == 5.0
+
+    def test_appends_after_busy(self):
+        hs = _HostSchedule()
+        hs.occupy(0.0, 10.0)
+        assert hs.earliest_slot(2.0, 3.0) == 10.0
+
+    def test_insertion_into_gap(self):
+        hs = _HostSchedule()
+        hs.occupy(0.0, 2.0)
+        hs.occupy(10.0, 12.0)
+        # a 3s task fits in the [2, 10) gap
+        assert hs.earliest_slot(0.0, 3.0) == 2.0
+        # a 9s task does not; goes after everything
+        assert hs.earliest_slot(0.0, 9.0) == 12.0
+
+    def test_ready_constraint_within_gap(self):
+        hs = _HostSchedule()
+        hs.occupy(0.0, 2.0)
+        hs.occupy(10.0, 12.0)
+        assert hs.earliest_slot(5.0, 3.0) == 5.0
+
+
+class TestHeftScheduler:
+    def test_covers_all_nodes(self, registry, fed):
+        g = linear_solver_graph(registry, n=80)
+        table = HeftScheduler(fed.repositories, fed.topology).schedule(g)
+        assert set(table.entries) == set(g.nodes)
+
+    def test_respects_constraints(self, registry):
+        fed = build_federation(
+            registry=registry,
+            constrain={"lu-decomposition": {"rome/h0"}})
+        g = linear_solver_graph(registry, n=60)
+        table = HeftScheduler(fed.repositories, fed.topology).schedule(g)
+        assert table.get("lu").host == "rome/h0"
+
+    def test_infeasible_raises(self, registry):
+        fed = build_federation(registry=registry,
+                               constrain={"lu-decomposition": set()})
+        g = linear_solver_graph(registry, n=60)
+        with pytest.raises(NoFeasibleHostError):
+            HeftScheduler(fed.repositories, fed.topology).schedule(g)
+
+    def test_upward_ranks_decrease_along_edges(self, registry, fed):
+        g = linear_solver_graph(registry, n=60)
+        heft = HeftScheduler(fed.repositories, fed.topology)
+        costs = {nid: heft._candidates(g.node(nid)) for nid in g.nodes}
+        ranks = heft.upward_ranks(g, costs)
+        for link in g.links:
+            assert ranks[link.src] > ranks[link.dst]
+
+    def test_spreads_independent_tasks(self, registry, fed):
+        """EFT with insertion never piles parallel work on one host."""
+        g = fork_join_graph(registry, width=4, size=2048)
+        table = HeftScheduler(fed.repositories, fed.topology).schedule(g)
+        assert len(table.hosts()) >= 3
+
+    def test_valid_timeline(self, registry, fed):
+        g = fork_join_graph(registry, width=3, size=2048)
+        table = HeftScheduler(fed.repositories, fed.topology).schedule(g)
+        tl = evaluate_schedule(g, table, fed.topology)
+        for link in g.links:
+            assert tl.start[link.dst] >= tl.finish[link.src] - 1e-9
+
+    def test_deterministic(self, registry, fed):
+        g = linear_solver_graph(registry, n=60)
+        heft = HeftScheduler(fed.repositories, fed.topology)
+        t1 = heft.schedule(g)
+        heft2 = HeftScheduler(fed.repositories, fed.topology)
+        t2 = heft2.schedule(g)
+        assert {n: e.host for n, e in t1.entries.items()} == \
+            {n: e.host for n, e in t2.entries.items()}

@@ -1,0 +1,162 @@
+"""Tests for the Host Selection Algorithm (paper Figure 5)."""
+
+import pytest
+
+from repro.afg import GraphBuilder, TaskProperties
+from repro.prediction import PerformancePredictor
+from repro.scheduling import HostSelector
+from repro.util.errors import NoFeasibleHostError
+
+from .conftest import build_federation
+
+
+def solver_builder(registry) -> GraphBuilder:
+    b = GraphBuilder(registry, name="solver")
+    b.task("matrix-generate", "gen", input_size=50, params={"n": 50})
+    b.task("lu-decomposition", "lu", input_size=50)
+    b.link("gen", "lu")
+    return b
+
+
+class TestFeasibility:
+    def test_machine_type_preference_filters(self, registry, federation):
+        b = solver_builder(registry)
+        b.set_properties("lu", machine_type="alpha", input_size=50)
+        selector = HostSelector(federation.repositories["syracuse"])
+        records = selector.feasible_records(b.graph.node("lu"))
+        assert records and all(r.arch == "alpha" for r in records)
+
+    def test_constraints_filter(self, registry):
+        fed = build_federation(
+            registry=registry,
+            constrain={"lu-decomposition": {"syracuse/h0"}})
+        b = solver_builder(registry)
+        selector = HostSelector(fed.repositories["syracuse"])
+        records = selector.feasible_records(b.graph.node("lu"))
+        assert [r.address for r in records] == ["syracuse/h0"]
+
+    def test_down_hosts_excluded_by_selection(self, registry, federation):
+        repo = federation.repositories["syracuse"]
+        for rec in list(repo.resource_performance.hosts_at("syracuse")):
+            if rec.address != "syracuse/h1":
+                repo.resource_performance.mark_down(rec.address, time=1.0)
+        b = solver_builder(registry)
+        selector = HostSelector(repo)
+        choice = selector.select_for_task(b.graph.node("lu"))
+        assert choice.hosts == ("syracuse/h1",)
+
+
+class TestSelection:
+    def test_picks_minimum_predicted(self, registry, federation):
+        repo = federation.repositories["syracuse"]
+        selector = HostSelector(repo)
+        b = solver_builder(registry)
+        node = b.graph.node("lu")
+        choice = selector.select_for_task(node)
+        # cross-check against brute force over feasible records
+        predictor = PerformancePredictor(repo.task_performance)
+        records = selector.feasible_records(node)
+        best = min(
+            (predictor.predict(node.definition, 50, r) for r in records),
+            key=lambda p: (p.estimate_s, p.host))
+        assert choice.hosts == (best.host,)
+        assert choice.predicted_time_s == pytest.approx(best.estimate_s)
+
+    def test_load_shifts_selection(self, registry, federation):
+        repo = federation.repositories["syracuse"]
+        selector = HostSelector(repo)
+        b = solver_builder(registry)
+        node = b.graph.node("lu")
+        first = selector.select_for_task(node).hosts[0]
+        # pile load onto the winner; selection should move
+        for _ in range(5):
+            repo.resource_performance.update_dynamic(
+                first, cpu_load=25.0, available_memory_mb=64, time=1.0)
+        second = selector.select_for_task(node).hosts[0]
+        assert second != first
+
+    def test_whole_graph_selection(self, registry, federation):
+        selector = HostSelector(federation.repositories["syracuse"])
+        g = solver_builder(registry).build()
+        result = selector.select(g)
+        assert set(result.choices) == {"gen", "lu"}
+        assert result.infeasible == ()
+        assert result.site == "syracuse"
+
+    def test_infeasible_reported_not_raised(self, registry):
+        fed = build_federation(registry=registry,
+                               constrain={"lu-decomposition": set()})
+        selector = HostSelector(fed.repositories["syracuse"])
+        g = solver_builder(registry).build()
+        result = selector.select(g)
+        assert result.infeasible == ("lu",)
+        assert "gen" in result.choices
+
+    def test_no_feasible_host_raises_for_single_task(self, registry):
+        fed = build_federation(registry=registry,
+                               constrain={"lu-decomposition": set()})
+        selector = HostSelector(fed.repositories["syracuse"])
+        b = solver_builder(registry)
+        with pytest.raises(NoFeasibleHostError):
+            selector.select_for_task(b.graph.node("lu"))
+
+
+class TestParallelExtension:
+    def test_parallel_task_gets_requested_hosts(self, registry, federation):
+        b = solver_builder(registry)
+        b.set_properties("lu", computation_mode="parallel", processors=2,
+                         input_size=50)
+        selector = HostSelector(federation.repositories["syracuse"])
+        choice = selector.select_for_task(b.graph.node("lu"))
+        assert choice.processors == 2
+        assert len(choice.hosts) == 2
+        assert len(set(choice.hosts)) == 2
+
+    def test_parallel_hosts_all_within_site(self, registry, federation):
+        b = solver_builder(registry)
+        b.set_properties("lu", computation_mode="parallel", processors=3,
+                         input_size=50)
+        selector = HostSelector(federation.repositories["rome"])
+        choice = selector.select_for_task(b.graph.node("lu"))
+        assert all(h.startswith("rome/") for h in choice.hosts)
+
+    def test_insufficient_hosts_for_parallel(self, registry, federation):
+        b = solver_builder(registry)
+        b.set_properties("lu", computation_mode="parallel", processors=99,
+                         input_size=50)
+        selector = HostSelector(federation.repositories["syracuse"])
+        with pytest.raises(NoFeasibleHostError):
+            selector.select_for_task(b.graph.node("lu"))
+
+    def test_parallel_predicted_faster_on_homogeneous_site(self, registry):
+        """On identical machines, parallel mode always wins; on a
+        heterogeneous site a slow partner can make it lose, which the
+        selection correctly reflects (max over participants)."""
+        fed = build_federation(
+            registry=registry,
+            templates=[dict(arch="sparc", os="solaris", cpu_factor=1.0,
+                            memory_mb=128)])
+        selector = HostSelector(fed.repositories["syracuse"])
+        b = solver_builder(registry)
+        node = b.graph.node("lu")
+        seq = selector.select_for_task(node).predicted_time_s
+        b.set_properties("lu", computation_mode="parallel", processors=2,
+                         input_size=50)
+        par = selector.select_for_task(b.graph.node("lu")).predicted_time_s
+        assert par < seq
+
+    def test_figure3_parallel_lu_on_two_sparc_nodes(self, registry):
+        """Figure 3's exact property panel: parallel LU on 2 Solaris
+        (sparc) machines."""
+        fed = build_federation(registry=registry, hosts_per_site=5)
+        b = solver_builder(registry)
+        b.graph.node("lu").properties = TaskProperties(
+            computation_mode="parallel", processors=2, machine_type="sparc",
+            input_size=50)
+        selector = HostSelector(fed.repositories["syracuse"])
+        choice = selector.select_for_task(b.graph.node("lu"))
+        recs = {r.address: r for r in
+                fed.repositories["syracuse"]
+                .resource_performance.hosts_at("syracuse")}
+        assert all(recs[h].arch == "sparc" for h in choice.hosts)
+        assert choice.processors == 2

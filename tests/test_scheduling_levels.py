@@ -1,0 +1,156 @@
+"""Tests for level computation and the ready-set walk."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.afg import GraphBuilder
+from repro.scheduling import ReadySet, compute_levels, priority_order
+from repro.tasklib import standard_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+def chain_graph(registry, n=4):
+    b = GraphBuilder(registry)
+    s = b.task("signal-generate", "src")
+    f = b.task("fft-1d", "fft")
+    prev = f
+    ids = [s, f]
+    for i in range(n):
+        nid = b.task("lowpass-filter", f"f{i}")
+        ids.append(nid)
+        b.link(prev, nid)
+        prev = nid
+    b.link(s, f)
+    return b.build(), ids
+
+
+class TestLevels:
+    def test_exit_node_level_is_own_cost(self, registry):
+        g, ids = chain_graph(registry)
+        levels = compute_levels(g)
+        exit_id = ids[-1]
+        assert levels[exit_id] == pytest.approx(g.node(exit_id).base_cost())
+
+    def test_levels_decrease_along_chain(self, registry):
+        g, ids = chain_graph(registry)
+        levels = compute_levels(g)
+        for a, b in zip(ids, ids[1:]):
+            assert levels[a] > levels[b]
+
+    def test_entry_level_equals_critical_path(self, registry):
+        g, ids = chain_graph(registry)
+        levels = compute_levels(g)
+        assert max(levels.values()) == pytest.approx(g.critical_path_cost())
+
+    def test_custom_costs(self, registry):
+        g, ids = chain_graph(registry, n=1)
+        unit = {nid: 1.0 for nid in g.nodes}
+        levels = compute_levels(g, costs=unit)
+        # chain of 3 nodes: levels 3, 2, 1
+        assert sorted(levels.values()) == [1.0, 2.0, 3.0]
+
+    def test_diamond_takes_max_branch(self, registry):
+        b = GraphBuilder(registry)
+        b.task("matrix-generate", "g", input_size=50)
+        b.task("lu-decomposition", "lu", input_size=50)
+        b.task("matrix-inverse", "i1", input_size=50)
+        b.task("matrix-inverse", "i2", input_size=50)
+        b.task("matrix-multiply", "m", input_size=50)
+        b.link("g", "lu")
+        b.link("lu", "i1", src_port="lower")
+        b.link("lu", "i2", src_port="upper")
+        b.link("i1", "m", dst_port="a")
+        b.link("i2", "m", dst_port="b")
+        g = b.build()
+        levels = compute_levels(g, costs={nid: 1.0 for nid in g.nodes})
+        assert levels["g"] == 4.0  # g -> lu -> inv -> m
+        assert levels["i1"] == levels["i2"] == 2.0
+
+
+class TestPriorityOrder:
+    def test_descending_levels(self, registry):
+        g, _ = chain_graph(registry)
+        levels = compute_levels(g)
+        order = priority_order(g, levels)
+        vals = [levels[nid] for nid in order]
+        assert vals == sorted(vals, reverse=True)
+
+
+class TestReadySet:
+    def test_walk_respects_precedence(self, registry):
+        g, _ = chain_graph(registry)
+        ready = ReadySet(g, compute_levels(g))
+        order = ready.drain()
+        pos = {nid: i for i, nid in enumerate(order)}
+        for link in g.links:
+            assert pos[link.src] < pos[link.dst]
+        assert len(order) == len(g)
+
+    def test_highest_level_ready_first(self, registry):
+        """Two independent chains: the longer chain's head goes first."""
+        b = GraphBuilder(registry)
+        # chain A: 3 filters; chain B: 1 filter
+        sa = b.task("signal-generate", "sa")
+        fa = b.task("fft-1d", "fa")
+        b.link(sa, fa)
+        prev = fa
+        for i in range(3):
+            nid = b.task("lowpass-filter", f"a{i}")
+            b.link(prev, nid)
+            prev = nid
+        sb = b.task("signal-generate", "sb")
+        fb = b.task("fft-1d", "fb")
+        b.link(sb, fb)
+        g = b.build()
+        ready = ReadySet(g, compute_levels(g))
+        assert ready.pop() == "sa"  # longer chain => higher level
+
+    def test_pop_empty_raises(self, registry):
+        g, _ = chain_graph(registry)
+        ready = ReadySet(g, compute_levels(g))
+        ready.drain()
+        with pytest.raises(IndexError):
+            ready.pop()
+
+    def test_len_and_bool(self, registry):
+        g, _ = chain_graph(registry)
+        ready = ReadySet(g, compute_levels(g))
+        assert bool(ready) and len(ready) == 1  # only the source is ready
+        ready.drain()
+        assert not ready
+
+    def test_scheduled_property(self, registry):
+        g, _ = chain_graph(registry, n=1)
+        ready = ReadySet(g, compute_levels(g))
+        first = ready.pop()
+        assert ready.scheduled == {first}
+
+
+@given(st.integers(1, 6), st.integers(1, 4))
+def test_ready_walk_covers_layered_graphs(width, depth):
+    """Property: the ready walk always yields every node exactly once in
+    a precedence-respecting order on layered DAGs."""
+    registry = standard_registry()
+    b = GraphBuilder(registry)
+    layers = []
+    srcs = [b.task("signal-generate", f"s{i}") for i in range(width)]
+    ffts = [b.task("fft-1d", f"x{i}") for i in range(width)]
+    for s, f in zip(srcs, ffts):
+        b.link(s, f)
+    layers.append(ffts)
+    for d in range(depth):
+        layer = [b.task("lowpass-filter", f"l{d}-{i}") for i in range(width)]
+        for i, nid in enumerate(layer):
+            b.link(layers[-1][i], nid)
+        layers.append(layer)
+    g = b.build()
+    from repro.scheduling import ReadySet, compute_levels
+    order = ReadySet(g, compute_levels(g)).drain()
+    assert sorted(order) == sorted(g.nodes)
+    pos = {nid: i for i, nid in enumerate(order)}
+    assert all(pos[l.src] < pos[l.dst] for l in g.links)

@@ -1,0 +1,136 @@
+"""Property-based tests of scheduler invariants (hypothesis)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import (
+    HostSelector,
+    SiteScheduler,
+    compute_levels,
+    evaluate_schedule,
+)
+from repro.tasklib import standard_registry
+from repro.workloads import (
+    fork_join_graph,
+    linear_solver_graph,
+    random_layered_graph,
+)
+
+from .conftest import build_federation
+
+REGISTRY = standard_registry()
+
+graph_strategy = st.one_of(
+    st.builds(random_layered_graph, st.just(REGISTRY),
+              layers=st.integers(1, 4), width=st.integers(1, 4),
+              seed=st.integers(0, 50)),
+    st.builds(fork_join_graph, st.just(REGISTRY),
+              width=st.integers(2, 5)),
+    st.builds(linear_solver_graph, st.just(REGISTRY),
+              n=st.integers(20, 120)),
+)
+
+
+def make_schedule(graph, seed=0, queue_aware=False, k=1):
+    fed = build_federation(registry=REGISTRY, seed=seed)
+    selectors = {s: HostSelector(r) for s, r in fed.repositories.items()}
+    sched = SiteScheduler("syracuse", fed.topology, k_remote_sites=k,
+                          queue_aware=queue_aware)
+    table, report = sched.schedule_with_selectors(graph, selectors)
+    return fed, table, report
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graph_strategy, queue_aware=st.booleans())
+def test_schedule_covers_every_node_with_feasible_hosts(graph, queue_aware):
+    fed, table, _ = make_schedule(graph, queue_aware=queue_aware)
+    assert set(table.entries) == set(graph.nodes)
+    for entry in table.entries.values():
+        for host in entry.hosts:
+            repo = fed.repositories[entry.site]
+            assert repo.task_constraints.is_runnable_on(entry.task_name,
+                                                        host)
+            assert host.split("/")[0] == entry.site
+        assert entry.predicted_time_s > 0
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graph_strategy, queue_aware=st.booleans())
+def test_timeline_respects_precedence_and_serialisation(graph, queue_aware):
+    fed, table, _ = make_schedule(graph, queue_aware=queue_aware)
+    tl = evaluate_schedule(graph, table, fed.topology)
+    # precedence: child starts at/after parent finish
+    for link in graph.links:
+        assert tl.start[link.dst] >= tl.finish[link.src] - 1e-9
+    # serialisation: tasks sharing a host never overlap
+    by_host: dict[str, list[tuple[float, float]]] = {}
+    for nid, entry in table.entries.items():
+        for host in entry.hosts:
+            by_host.setdefault(host, []).append(
+                (tl.start[nid], tl.finish[nid]))
+    for intervals in by_host.values():
+        intervals.sort()
+        for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+            assert s2 >= f1 - 1e-9
+    # makespan bounded below by the critical path on the fastest host
+    assert tl.makespan > 0
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graph_strategy, seed=st.integers(0, 20))
+def test_schedule_deterministic_per_seed(graph, seed):
+    _, t1, r1 = make_schedule(graph, seed=seed)
+    _, t2, r2 = make_schedule(graph, seed=seed)
+    assert {n: e.hosts for n, e in t1.entries.items()} == \
+        {n: e.hosts for n, e in t2.entries.items()}
+    assert r1.scheduling_order == r2.scheduling_order
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graph_strategy)
+def test_scheduling_order_is_priority_consistent(graph):
+    """At each step the walk picks the highest-level *ready* node."""
+    _, _, report = make_schedule(graph)
+    levels = compute_levels(graph)
+    scheduled: set[str] = set()
+    for i, nid in enumerate(report.scheduling_order):
+        # readiness at pick time
+        assert set(graph.predecessors(nid)) <= scheduled
+        # among ready nodes, nid had the max level (ties by name)
+        ready = [cand for cand in graph.nodes
+                 if cand not in scheduled
+                 and set(graph.predecessors(cand)) <= scheduled]
+        best = min(ready, key=lambda c: (-levels[c], c))
+        assert nid == best
+        scheduled.add(nid)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(20, 100), k=st.integers(0, 1))
+def test_levels_invariant_parent_exceeds_child(n, k):
+    graph = linear_solver_graph(REGISTRY, n=n)
+    levels = compute_levels(graph)
+    for link in graph.links:
+        assert levels[link.src] > levels[link.dst]
+    # entry max level == critical path cost
+    assert max(levels.values()) == pytest.approx(
+        graph.critical_path_cost())
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graph_strategy)
+def test_queue_aware_never_places_infeasibly(graph):
+    """The extension explores alternatives but stays within constraints."""
+    fed, table, _ = make_schedule(graph, queue_aware=True)
+    for entry in table.entries.values():
+        repo = fed.repositories[entry.site]
+        recs = {r.address
+                for r in repo.resource_performance.hosts_at(entry.site)}
+        assert set(entry.hosts) <= recs

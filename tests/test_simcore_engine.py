@@ -1,0 +1,302 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simcore import Environment, Interrupt
+from repro.util.errors import SimulationError
+
+
+class TestClockAndTimeouts:
+    def test_time_starts_at_zero(self):
+        env = Environment()
+        assert env.now == 0.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        done = []
+
+        def proc(env):
+            yield env.timeout(5.0)
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [5.0]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_run_until_time_stops_clock_exactly(self):
+        env = Environment()
+
+        def proc(env):
+            while True:
+                yield env.timeout(10.0)
+
+        env.process(proc(env))
+        env.run(until=25.0)
+        assert env.now == 25.0
+
+    def test_run_until_past_raises(self):
+        env = Environment()
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_timeout_value_passed_through(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            v = yield env.timeout(1.0, value="payload")
+            got.append(v)
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["payload"]
+
+    def test_same_time_events_fifo_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(3.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(env, tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2.0)
+            return 42
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == 42
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(4.0)
+            return "child-done"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return (env.now, result)
+
+        p = env.process(parent(env))
+        assert env.run(until=p) == (4.0, "child-done")
+
+    def test_process_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        def parent(env):
+            try:
+                yield env.process(bad(env))
+            except ValueError as e:
+                return f"caught {e}"
+
+        p = env.process(parent(env))
+        assert env.run(until=p) == "caught boom"
+
+    def test_uncaught_failure_raises_from_run(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        p = env.process(bad(env))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run(until=p)
+
+    def test_requires_generator(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_yield_non_event_is_error(self):
+        env = Environment()
+
+        def bad(env):
+            yield 17
+
+        p = env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run(until=p)
+
+    def test_deadlock_detected(self):
+        env = Environment()
+
+        def waiter(env):
+            yield env.event()  # never triggered
+
+        p = env.process(waiter(env))
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(until=p)
+
+
+class TestInterrupts:
+    def test_interrupt_reaches_process(self):
+        env = Environment()
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as i:
+                log.append(("interrupted", env.now, i.cause))
+
+        def attacker(env, target):
+            yield env.timeout(5.0)
+            target.interrupt(cause="overload")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert log == [("interrupted", 5.0, "overload")]
+
+    def test_uncaught_interrupt_cancels_cleanly(self):
+        env = Environment()
+
+        def victim(env):
+            yield env.timeout(100.0)
+
+        def attacker(env, target):
+            yield env.timeout(5.0)
+            target.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert not v.is_alive
+        assert v.ok
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1.0)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestCompositeEvents:
+    def test_all_of_collects_values(self):
+        env = Environment()
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="a")
+            t2 = env.timeout(3.0, value="b")
+            vals = yield env.all_of([t1, t2])
+            return (env.now, vals)
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == (3.0, ["a", "b"])
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            vals = yield env.all_of([])
+            return vals
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == []
+
+    def test_any_of_returns_first(self):
+        env = Environment()
+
+        def proc(env):
+            slow = env.timeout(10.0, value="slow")
+            fast = env.timeout(2.0, value="fast")
+            idx, val = yield env.any_of([slow, fast])
+            return (env.now, idx, val)
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == (2.0, 1, "fast")
+
+
+class TestEventSemantics:
+    def test_event_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_value_before_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_manual_succeed_wakes_waiter(self):
+        env = Environment()
+        flag = env.event()
+        got = []
+
+        def waiter(env):
+            v = yield flag
+            got.append((env.now, v))
+
+        def signaller(env):
+            yield env.timeout(7.0)
+            flag.succeed("go")
+
+        env.process(waiter(env))
+        env.process(signaller(env))
+        env.run()
+        assert got == [(7.0, "go")]
+
+    def test_step_empty_queue_raises(self):
+        env = Environment()
+        env.run()
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(4.0)
+        assert env.peek() == pytest.approx(0.0) or env.peek() <= 4.0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build():
+            env = Environment()
+            log = []
+
+            def worker(env, k):
+                for i in range(3):
+                    yield env.timeout(k * 1.5 + 0.5)
+                    log.append((env.now, k, i))
+
+            for k in range(4):
+                env.process(worker(env, k))
+            env.run()
+            return log
+
+        assert build() == build()

@@ -1,0 +1,166 @@
+"""Tests for simcore Store (mailboxes) and Tracer."""
+
+import pytest
+
+from repro.simcore import Environment, Store, Tracer
+from repro.util.errors import SimulationError
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        store.put("msg")
+        env.process(consumer(env))
+        env.run()
+        assert got == [(0.0, "msg")]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(5.0)
+            store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(5.0, "late")]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        out = []
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                out.append(item)
+
+        for item in (1, 2, 3):
+            store.put(item)
+        env.process(consumer(env))
+        env.run()
+        assert out == [1, 2, 3]
+
+    def test_capacity_blocks_putter(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        events = []
+
+        def producer(env):
+            yield store.put("a")
+            events.append(("a-stored", env.now))
+            yield store.put("b")
+            events.append(("b-stored", env.now))
+
+        def consumer(env):
+            yield env.timeout(10.0)
+            item = yield store.get()
+            events.append(("got", item, env.now))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert ("a-stored", 0.0) in events
+        assert ("got", "a", 10.0) in events
+        assert ("b-stored", 10.0) in events
+
+    def test_try_get(self):
+        env = Environment()
+        store = Store(env)
+        assert store.try_get() is None
+        store.put("x")
+        env.run()
+        assert store.try_get() == "x"
+        assert store.try_get() is None
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+    def test_bad_capacity(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_multiple_consumers_each_get_one(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env, tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        env.process(consumer(env, "c1"))
+        env.process(consumer(env, "c2"))
+        store.put("first")
+        store.put("second")
+        env.run()
+        assert sorted(got) == [("c1", "first"), ("c2", "second")]
+
+
+class TestTracer:
+    def test_record_and_query(self):
+        tr = Tracer()
+        tr.record(1.0, "load-report", "monitor:h1", load=0.5)
+        tr.record(2.0, "load-report", "monitor:h2", load=0.7)
+        tr.record(3.0, "echo", "gm:g1")
+        assert tr.count("load-report") == 2
+        assert tr.count("echo") == 1
+        assert tr.count() == 3
+
+    def test_query_by_actor_and_window(self):
+        tr = Tracer()
+        for t in range(10):
+            tr.record(float(t), "tick", "a" if t % 2 else "b")
+        recs = list(tr.query(category="tick", actor="a", since=3.0, until=7.0))
+        assert [r.time for r in recs] == [3.0, 5.0, 7.0]
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.record(0.0, "x", "y")
+        assert tr.count() == 0
+
+    def test_subscribe(self):
+        tr = Tracer()
+        seen = []
+        tr.subscribe(lambda rec: seen.append(rec.category))
+        tr.record(0.0, "alpha", "x")
+        tr.record(1.0, "beta", "x")
+        assert seen == ["alpha", "beta"]
+
+    def test_categories_histogram(self):
+        tr = Tracer()
+        tr.record(0.0, "a", "x")
+        tr.record(0.0, "a", "x")
+        tr.record(0.0, "b", "x")
+        assert tr.categories() == {"a": 2, "b": 1}
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.record(0.0, "a", "x")
+        tr.clear()
+        assert tr.count() == 0
+
+    def test_detail_payload(self):
+        tr = Tracer()
+        tr.record(5.0, "task-finish", "host-1", task="lu", elapsed=3.2)
+        rec = tr.records[0]
+        assert rec.detail == {"task": "lu", "elapsed": 3.2}

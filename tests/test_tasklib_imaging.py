@@ -1,0 +1,180 @@
+"""Tests for the image-processing task library."""
+
+import numpy as np
+import pytest
+
+from repro.tasklib import standard_registry
+from repro.tasklib.imaging import build_imaging_library
+from repro.util.errors import ExecutionError
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_imaging_library()
+
+
+class TestImageGenerate:
+    def test_shape_and_range(self, lib):
+        img = lib.get("image-generate").execute(
+            {}, {"n": 64, "seed": 1})["image"]
+        assert img.shape == (64, 64)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic(self, lib):
+        gen = lib.get("image-generate")
+        a = gen.execute({}, {"n": 32, "seed": 5})["image"]
+        b = gen.execute({}, {"n": 32, "seed": 5})["image"]
+        np.testing.assert_array_equal(a, b)
+
+    def test_blobs_brighten_scene(self, lib):
+        gen = lib.get("image-generate")
+        flat = gen.execute({}, {"n": 64, "blobs": 0, "noise": 0.0})["image"]
+        blobby = gen.execute({}, {"n": 64, "blobs": 8, "noise": 0.0})["image"]
+        assert blobby.max() > flat.max()
+
+
+class TestFilters:
+    def test_blur_reduces_variance(self, lib):
+        img = lib.get("image-generate").execute(
+            {}, {"n": 64, "noise": 0.2, "seed": 2})["image"]
+        blurred = lib.get("gaussian-blur").execute(
+            {"image": img}, {"sigma": 2.0})["image"]
+        assert blurred.var() < img.var()
+        assert blurred.shape == img.shape
+
+    def test_blur_preserves_mean(self, lib):
+        img = lib.get("image-generate").execute(
+            {}, {"n": 64, "seed": 3})["image"]
+        blurred = lib.get("gaussian-blur").execute(
+            {"image": img}, {"sigma": 1.0})["image"]
+        # interior mean approximately preserved (borders lose mass)
+        assert abs(blurred[8:-8, 8:-8].mean()
+                   - img[8:-8, 8:-8].mean()) < 0.05
+
+    def test_blur_bad_sigma(self, lib):
+        with pytest.raises(ExecutionError):
+            lib.get("gaussian-blur").execute(
+                {"image": np.zeros((8, 8))}, {"sigma": 0})
+
+    def test_edge_detect_flat_image_is_dark(self, lib):
+        edges = lib.get("edge-detect").execute(
+            {"image": np.full((32, 32), 0.5)})["edges"]
+        assert edges[4:-4, 4:-4].max() < 1e-9
+
+    def test_edge_detect_finds_step(self, lib):
+        img = np.zeros((32, 32))
+        img[:, 16:] = 1.0
+        edges = lib.get("edge-detect").execute({"image": img})["edges"]
+        # strongest response at the step column
+        peak_col = int(np.argmax(edges[16]))
+        assert abs(peak_col - 16) <= 1
+
+    def test_rejects_non_2d(self, lib):
+        with pytest.raises(ExecutionError):
+            lib.get("edge-detect").execute({"image": np.zeros(8)})
+
+
+class TestSegmentationPipeline:
+    def test_threshold_mask_fraction(self, lib):
+        img = lib.get("image-generate").execute(
+            {}, {"n": 64, "seed": 4})["image"]
+        mask = lib.get("threshold-segment").execute(
+            {"image": img}, {"quantile": 0.9})["mask"]
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+        assert 0.05 < mask.mean() < 0.2  # ~10% above the 0.9 quantile
+
+    def test_threshold_bad_quantile(self, lib):
+        with pytest.raises(ExecutionError):
+            lib.get("threshold-segment").execute(
+                {"image": np.zeros((4, 4))}, {"quantile": 1.5})
+
+    def test_blob_count_separated_squares(self, lib):
+        mask = np.zeros((40, 40))
+        mask[5:10, 5:10] = 1.0
+        mask[25:30, 25:32] = 1.0
+        blobs = lib.get("blob-count").execute({"mask": mask})["blobs"]
+        assert blobs.shape == (2, 4)
+        sizes = sorted(blobs[:, 3])
+        assert sizes == [25.0, 35.0]
+
+    def test_blob_count_empty_mask(self, lib):
+        blobs = lib.get("blob-count").execute(
+            {"mask": np.zeros((10, 10))})["blobs"]
+        assert blobs.shape == (0, 4)
+
+    def test_diagonal_blobs_not_merged(self, lib):
+        """4-connectivity: diagonal touching pixels are separate blobs."""
+        mask = np.zeros((4, 4))
+        mask[0, 0] = 1.0
+        mask[1, 1] = 1.0
+        blobs = lib.get("blob-count").execute({"mask": mask})["blobs"]
+        assert blobs.shape[0] == 2
+
+    def test_georegister_mapping(self, lib):
+        blobs = np.array([[1.0, 10.0, 20.0, 25.0]])
+        targets = lib.get("georegister").execute(
+            {"blobs": blobs},
+            {"origin": (43.0, -76.0), "meters_per_pixel": 30.0})["targets"]
+        assert targets.shape == (1, 4)
+        assert targets[0, 1] == pytest.approx(43.0 + 10 * 30e-5)
+        assert targets[0, 2] == pytest.approx(-76.0 + 20 * 30e-5)
+
+    def test_georegister_bad_shape(self, lib):
+        with pytest.raises(ExecutionError):
+            lib.get("georegister").execute({"blobs": np.zeros((2, 3))})
+
+    def test_full_exploitation_pipeline(self, lib):
+        """generate -> blur -> segment -> count -> georegister finds the
+        planted blobs."""
+        n_blobs = 5
+        img = lib.get("image-generate").execute(
+            {}, {"n": 96, "blobs": n_blobs, "noise": 0.02,
+                 "seed": 9})["image"]
+        smooth = lib.get("gaussian-blur").execute(
+            {"image": img}, {"sigma": 1.0})["image"]
+        mask = lib.get("threshold-segment").execute(
+            {"image": smooth}, {"quantile": 0.97})["mask"]
+        blobs = lib.get("blob-count").execute({"mask": mask})["blobs"]
+        targets = lib.get("georegister").execute({"blobs": blobs})["targets"]
+        # within a factor of 2 of the planted count (blobs can overlap)
+        assert 2 <= targets.shape[0] <= 2 * n_blobs
+
+
+class TestRegistryIntegration:
+    def test_in_standard_registry(self):
+        reg = standard_registry()
+        assert "image-processing" in reg.menu()
+        assert reg.resolve("edge-detect").library == "image-processing"
+
+    def test_runs_on_vdce(self):
+        """The imaging pipeline executes through the full simulated VDCE."""
+        from repro.afg import GraphBuilder
+        from repro.workloads import quiet_testbed
+        v = quiet_testbed(seed=41)
+        v.start()
+        b = GraphBuilder(v.registry, name="exploitation")
+        b.task("image-generate", "img", input_size=96,
+               params={"n": 96, "blobs": 4, "seed": 3})
+        b.task("gaussian-blur", "blur", input_size=96,
+               params={"sigma": 1.0})
+        b.task("threshold-segment", "seg", input_size=96,
+               params={"quantile": 0.97})
+        b.task("blob-count", "count", input_size=96)
+        b.task("georegister", "geo", input_size=96)
+        b.chain("img", "blur", "seg", "count", "geo")
+        run = v.run_application(b.build(), "syracuse", max_sim_time_s=600)
+        assert run.status == "completed"
+        assert run.results()["geo"]["targets"].shape[1] == 4
+
+    def test_runs_on_real_sockets(self):
+        from repro.afg import GraphBuilder
+        from repro.runtime.local import run_local
+        reg = standard_registry()
+        b = GraphBuilder(reg, name="exploitation-local")
+        b.task("image-generate", "img", input_size=64,
+               params={"n": 64, "blobs": 3, "seed": 8})
+        b.task("edge-detect", "edges", input_size=64)
+        b.link("img", "edges")
+        result = run_local(b.build(), timeout_s=30.0)
+        assert result.ok, result.errors
+        assert result.outputs["edges"]["edges"].shape == (64, 64)

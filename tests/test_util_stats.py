@@ -1,0 +1,138 @@
+"""Unit and property tests for repro.util.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import stats
+
+
+class TestMeanVariance:
+    def test_mean_simple(self):
+        assert stats.mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_single(self):
+        assert stats.mean([7.5]) == 7.5
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            stats.mean([])
+
+    def test_variance_known(self):
+        # Var of [2,4,4,4,5,5,7,9] (sample) = 32/7
+        xs = [2, 4, 4, 4, 5, 5, 7, 9]
+        assert stats.variance(xs) == pytest.approx(32 / 7)
+
+    def test_variance_single_is_zero(self):
+        assert stats.variance([3.0]) == 0.0
+
+    def test_stddev_is_sqrt_variance(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        assert stats.stddev(xs) == pytest.approx(math.sqrt(stats.variance(xs)))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_mean_bounded_by_extremes(self, xs):
+        m = stats.mean(xs)
+        assert min(xs) - 1e-6 <= m <= max(xs) + 1e-6
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_variance_nonnegative(self, xs):
+        assert stats.variance(xs) >= 0.0
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=30),
+           st.floats(-1e3, 1e3))
+    def test_mean_shift_invariance(self, xs, c):
+        shifted = [x + c for x in xs]
+        assert stats.mean(shifted) == pytest.approx(stats.mean(xs) + c, abs=1e-6)
+
+
+class TestConfidenceInterval:
+    def test_single_sample_zero_width(self):
+        ci = stats.confidence_interval([5.0])
+        assert ci.center == 5.0
+        assert ci.half_width == 0.0
+        assert ci.contains(5.0)
+
+    def test_constant_samples_zero_width(self):
+        ci = stats.confidence_interval([2.0] * 10)
+        assert ci.half_width == 0.0
+
+    def test_known_value(self):
+        # n=4, mean=5, s=2 -> hw = t(3,.95)*2/2 = 3.182
+        xs = [3.0, 5.0, 5.0, 7.0]
+        ci = stats.confidence_interval(xs, 0.95)
+        assert ci.center == pytest.approx(5.0)
+        s = stats.stddev(xs)
+        assert ci.half_width == pytest.approx(3.182 * s / 2.0)
+
+    def test_higher_confidence_wider(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        ci90 = stats.confidence_interval(xs, 0.90)
+        ci99 = stats.confidence_interval(xs, 0.99)
+        assert ci99.half_width > ci90.half_width
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stats.confidence_interval([])
+
+    def test_unsupported_confidence_raises(self):
+        with pytest.raises(ValueError):
+            stats.confidence_interval([1.0, 2.0], confidence=0.42)
+
+    def test_low_high(self):
+        ci = stats.ConfidenceInterval(center=10.0, half_width=2.0,
+                                      confidence=0.95)
+        assert ci.low == 8.0 and ci.high == 12.0
+        assert ci.contains(8.0) and ci.contains(12.0)
+        assert not ci.contains(12.01)
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=40))
+    def test_interval_contains_mean(self, xs):
+        ci = stats.confidence_interval(xs)
+        assert ci.contains(stats.mean(xs))
+
+
+class TestTCritical:
+    def test_df1(self):
+        assert stats.t_critical(1, 0.95) == pytest.approx(12.706)
+
+    def test_large_df_approaches_normal(self):
+        assert stats.t_critical(1000, 0.95) == pytest.approx(1.96)
+
+    def test_monotone_decreasing_in_df(self):
+        vals = [stats.t_critical(df, 0.95) for df in range(1, 31)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_bad_df(self):
+        with pytest.raises(ValueError):
+            stats.t_critical(0)
+
+
+class TestPercentileGeomean:
+    def test_median(self):
+        assert stats.percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_interpolation(self):
+        assert stats.percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        xs = [5.0, 1.0, 9.0]
+        assert stats.percentile(xs, 0) == 1.0
+        assert stats.percentile(xs, 100) == 9.0
+
+    def test_bad_q(self):
+        with pytest.raises(ValueError):
+            stats.percentile([1.0], 101)
+
+    def test_geometric_mean_known(self):
+        assert stats.geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            stats.geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100), min_size=1, max_size=20))
+    def test_geomean_le_mean(self, xs):
+        assert stats.geometric_mean(xs) <= stats.mean(xs) + 1e-9

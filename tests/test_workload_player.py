@@ -1,0 +1,72 @@
+"""Tests for the open-loop workload player."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.workloads import (
+    WorkloadPlayer,
+    fourier_pipeline_graph,
+    linear_solver_graph,
+    quiet_testbed,
+)
+
+
+def factory_for(vdce, n=40):
+    return lambda i: linear_solver_graph(vdce.registry, n=n, seed=i)
+
+
+class TestWorkloadPlayer:
+    def test_all_complete_at_low_load(self):
+        v = quiet_testbed(seed=101)
+        v.start()
+        player = WorkloadPlayer(v, factory_for(v),
+                                mean_interarrival_s=30.0)
+        report = player.play(count=4, drain_s=3600)
+        assert report.submitted == 4
+        assert report.completed == 4
+        assert report.timed_out == 0
+        assert report.throughput_per_min > 0
+        assert report.mean_makespan_s > 0
+        assert report.p95_makespan_s >= report.mean_makespan_s * 0.5
+
+    def test_sites_round_robin(self):
+        v = quiet_testbed(seed=102)
+        v.start()
+        player = WorkloadPlayer(v, factory_for(v, n=30),
+                                mean_interarrival_s=20.0,
+                                local_sites=["syracuse", "rome"])
+        report = player.play(count=4)
+        locals_used = {run.report.local_site for run in report.runs}
+        assert locals_used == {"syracuse", "rome"}
+
+    def test_contention_raises_makespan(self):
+        """Faster arrivals on the same testbed => higher mean makespan."""
+        def run_at(interarrival):
+            v = quiet_testbed(seed=103)
+            v.start()
+            player = WorkloadPlayer(
+                v, lambda i: fourier_pipeline_graph(v.registry, n=8192,
+                                                    stages=4),
+                mean_interarrival_s=interarrival)
+            return player.play(count=6, drain_s=7200)
+
+        relaxed = run_at(60.0)
+        slammed = run_at(0.2)
+        assert relaxed.completed == slammed.completed == 6
+        assert slammed.mean_makespan_s > relaxed.mean_makespan_s * 1.2
+
+    def test_summary_keys(self):
+        v = quiet_testbed(seed=104)
+        v.start()
+        report = WorkloadPlayer(v, factory_for(v, n=30),
+                                mean_interarrival_s=10.0).play(count=2)
+        s = report.summary()
+        for key in ("submitted", "completed", "throughput_per_min",
+                    "mean_makespan_s", "p95_makespan_s", "reschedules"):
+            assert key in s
+
+    def test_validation(self):
+        v = quiet_testbed(seed=105)
+        v.start()
+        with pytest.raises(ConfigurationError):
+            WorkloadPlayer(v, factory_for(v), mean_interarrival_s=0)
