@@ -13,42 +13,46 @@ running task and request a new placement.
 Run:  python examples/fault_tolerance_demo.py
 """
 
+from repro.faults import FaultPlan, HostCrash
 from repro.resources.loads import SpikeLoad
 from repro.scheduling.rescheduling import ReschedulePolicy
 from repro.workloads import linear_solver_graph, nynet_testbed
 
 
-def crash_demo() -> None:
+def crash_demo(n: int = 150) -> None:
     print("=== host-crash recovery ===")
     vdce = nynet_testbed(seed=21, hosts_per_site=3, with_loads=False,
                          reschedule_policy=ReschedulePolicy(
                              load_threshold=3.0))
     vdce.start()
-    graph = linear_solver_graph(vdce.registry, n=150)
+    graph = linear_solver_graph(vdce.registry, n=n)
     process, run = vdce.submit(graph, "syracuse", k_remote_sites=1)
     while run.table is None:
         vdce.env.run(until=vdce.now + 1.0)
-    victim = vdce.world.host(run.table.get("lu").host)
-    print(f"LU scheduled on {victim.address}; crashing it now...")
-    vdce.failures.crash_at(victim, when=vdce.now + 0.05)
+    victim = run.table.get("lu").host
+    print(f"LU scheduled on {victim}; crashing it now...")
+    injector = vdce.apply_fault_plan(FaultPlan(events=(
+        HostCrash(host=victim, at=vdce.now + 0.05),
+    )))
     while not process.triggered and vdce.now < 3600:
         vdce.env.run(until=vdce.now + 5.0)
     print(f"status      : {run.status}")
     print(f"reschedules : {run.reschedules}")
     print(f"LU ended on : {run.table.get('lu').host} "
-          f"(victim was {victim.address})")
+          f"(victim was {victim})")
+    print(f"fault log   : {injector.counts()}")
     detections = [r for r in vdce.tracer.query(category="gm:host-down")]
     print(f"failure detected by group manager at t={detections[0].time:.1f}s"
           if detections else "failure not detected?!")
 
 
-def overload_demo() -> None:
+def overload_demo(n: int = 150) -> None:
     print("\n=== overload-triggered rescheduling ===")
     vdce = nynet_testbed(seed=22, hosts_per_site=3, with_loads=False,
                          reschedule_policy=ReschedulePolicy(
                              load_threshold=3.0))
     vdce.start()
-    graph = linear_solver_graph(vdce.registry, n=150)
+    graph = linear_solver_graph(vdce.registry, n=n)
     process, run = vdce.submit(graph, "syracuse", k_remote_sites=1)
     while run.table is None:
         vdce.env.run(until=vdce.now + 1.0)

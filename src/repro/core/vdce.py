@@ -27,6 +27,7 @@ from typing import Any
 
 from repro.afg.editor import ApplicationEditor, EditorSession
 from repro.afg.graph import ApplicationFlowGraph
+from repro.faults import FaultInjector, FaultPlan
 from repro.net import EXECUTION_REQUEST
 from repro.net.topology import LinkSpec
 from repro.prediction.calibration import calibrate_weights
@@ -71,6 +72,7 @@ class VDCE:
         self.filter_policy = filter_policy
         self.reschedule_policy = reschedule_policy or ReschedulePolicy()
         self.failures = FailureInjector(self.world.env, self.world.tracer)
+        self.fault_injector: FaultInjector | None = None
         self.repositories: dict[str, SiteRepository] = {}
         self.site_managers: dict[str, SiteManager] = {}
         self.group_managers: dict[tuple[str, str], GroupManager] = {}
@@ -215,7 +217,7 @@ class VDCE:
                 host = site.host(member)
                 self.monitors[host.address] = MonitorDaemon(
                     self.env, self.network, host, gm.address,
-                    period_s=self.monitor_period_s)
+                    period_s=self.monitor_period_s, tracer=self.tracer)
                 dm = DataManager(self.env, self.network, host,
                                  byte_orders=self._byte_orders,
                                  tracer=self.tracer)
@@ -378,6 +380,24 @@ class VDCE:
                     "host": host, "inputs": inputs,
                     "reason": "host-down",
                 })
+
+    # -- fault injection ---------------------------------------------------------
+    def apply_fault_plan(self, plan: FaultPlan) -> FaultInjector:
+        """Install a :class:`~repro.faults.FaultPlan` on this federation.
+
+        May be called before or during a run; host/site fault times must
+        lie in the simulated future.  Repeated calls reuse one injector
+        (and its RNG stream), so a session's fault log stays a single
+        deterministic sequence.
+        """
+        if self.fault_injector is None:
+            self.fault_injector = FaultInjector(
+                self.env, self.network, tracer=self.tracer,
+                rng=self.world.rng.stream("faults"),
+                host_resolver=self.world.host,
+                site_hosts=lambda s: list(self.world.site(s).hosts.values()))
+        self.fault_injector.install(plan)
+        return self.fault_injector
 
     # -- simulation control ------------------------------------------------------
     def run(self, until: float | None = None):

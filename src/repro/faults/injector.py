@@ -1,0 +1,213 @@
+"""Deterministic fault injection over the simulated network and hosts.
+
+The :class:`FaultInjector` executes a :class:`~repro.faults.plan.FaultPlan`
+against a live environment: host crashes and site outages are scheduled
+as simulated processes that flip ``host.up`` (exactly like the legacy
+:class:`~repro.resources.failures.FailureInjector`, so the Group Manager
+echo pipeline detects them), while windowed network faults install a hook
+into :meth:`repro.net.network.Network.send` that can drop, duplicate or
+delay individual messages.
+
+Every injected fault is recorded twice: as a ``fault:*`` record in the
+shared :class:`~repro.simcore.trace.Tracer` (for post-mortem analysis via
+:mod:`repro.viz.postmortem`) and as a row in :attr:`FaultInjector.events`
+whose canonical JSON form (:meth:`log_json`) is byte-identical across
+runs with the same seed — the determinism contract the chaos harness
+asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable
+from typing import Any
+
+import numpy as np
+
+from repro.faults.plan import (
+    FaultPlan,
+    HostCrash,
+    LinkDegradation,
+    LinkPartition,
+    MessageFaults,
+    SiteOutage,
+)
+from repro.net.message import Message
+from repro.net.network import FaultAction, Network, split_address
+from repro.resources.host import Host
+from repro.simcore.engine import Environment
+from repro.simcore.trace import Tracer
+from repro.util.errors import ConfigurationError
+
+
+class FaultInjector:
+    """Executes fault plans; the single source of injected-fault truth."""
+
+    #: actor name used for every ``fault:*`` trace record
+    ACTOR = "faults"
+
+    def __init__(self, env: Environment, network: Network,
+                 tracer: Tracer | None = None,
+                 rng: np.random.Generator | None = None,
+                 host_resolver: Callable[[str], Host] | None = None,
+                 site_hosts: Callable[[str], Iterable[Host]] | None = None,
+                 ) -> None:
+        self.env = env
+        self.network = network
+        self.tracer = tracer or Tracer(enabled=False)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._host_resolver = host_resolver
+        self._site_hosts = site_hosts
+        self.plans: list[FaultPlan] = []
+        #: canonical log of every fault actually injected (see log_json)
+        self.events: list[dict[str, Any]] = []
+        self._windows: list[Any] = []
+        self._hook_installed = False
+
+    # -- installation -----------------------------------------------------
+    def install(self, plan: FaultPlan) -> "FaultInjector":
+        """Schedule a plan's faults; may be called any number of times.
+
+        Timed host/site faults must lie in the simulated future; windowed
+        network faults are evaluated against the clock, so windows that
+        already started simply apply for their remainder.
+        """
+        for spec in plan.host_faults():
+            if spec.at < self.env.now:
+                raise ConfigurationError(
+                    f"cannot schedule {spec.kind} in the past "
+                    f"({spec.at} < {self.env.now})")
+        self.plans.append(plan)
+        for spec in plan.events:
+            if isinstance(spec, HostCrash):
+                self._schedule_host_crash(spec)
+            elif isinstance(spec, SiteOutage):
+                self._schedule_site_outage(spec)
+            else:
+                self._windows.append(spec)
+        if self._windows and not self._hook_installed:
+            self.network.fault_hook = self._on_message
+            self._hook_installed = True
+        return self
+
+    # -- bookkeeping -------------------------------------------------------
+    def _record(self, fault: str, **detail: Any) -> None:
+        self.events.append({"t": self.env.now, "fault": fault, **detail})
+        self.tracer.record(self.env.now, f"fault:{fault}", self.ACTOR,
+                           **detail)
+
+    def event_log(self) -> list[dict[str, Any]]:
+        """A copy of the injected-fault event rows, in injection order."""
+        return [dict(row) for row in self.events]
+
+    def log_json(self) -> str:
+        """Canonical JSON of the event log.
+
+        Byte-identical across runs with the same root seed — the
+        determinism contract chaos tests assert (docs/faults.md).
+        """
+        return json.dumps(self.events, sort_keys=True,
+                          separators=(",", ":"))
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of injected faults per fault kind."""
+        out: dict[str, int] = {}
+        for row in self.events:
+            out[row["fault"]] = out.get(row["fault"], 0) + 1
+        return out
+
+    # -- host/site state faults ---------------------------------------------
+    def _resolve(self, address: str) -> Host:
+        if self._host_resolver is None:
+            raise ConfigurationError(
+                "injector has no host resolver; host/site faults need one "
+                "(the VDCE facade wires it via apply_fault_plan)")
+        return self._host_resolver(address)
+
+    def _schedule_host_crash(self, spec: HostCrash) -> None:
+        host = self._resolve(spec.host)
+
+        def proc(env):
+            yield env.timeout(spec.at - env.now)
+            host.up = False
+            self._record("host-down", host=host.address)
+            if spec.recover_after is not None:
+                yield env.timeout(spec.recover_after)
+                host.up = True
+                self._record("host-up", host=host.address)
+
+        self.env.process(proc(self.env), name=f"fault:crash:{spec.host}")
+
+    def _schedule_site_outage(self, spec: SiteOutage) -> None:
+        if self._site_hosts is None:
+            raise ConfigurationError(
+                "injector has no site resolver; site outages need one "
+                "(the VDCE facade wires it via apply_fault_plan)")
+        hosts = list(self._site_hosts(spec.site))
+
+        def proc(env):
+            yield env.timeout(spec.at - env.now)
+            for host in hosts:
+                host.up = False
+            self._record("site-down", site=spec.site, hosts=len(hosts))
+            if spec.recover_after is not None:
+                yield env.timeout(spec.recover_after)
+                for host in hosts:
+                    host.up = True
+                self._record("site-up", site=spec.site, hosts=len(hosts))
+
+        self.env.process(proc(self.env), name=f"fault:outage:{spec.site}")
+
+    # -- the Network.send hook ----------------------------------------------
+    def _on_message(self, msg: Message) -> FaultAction | None:
+        """Per-message fault verdict; draws RNG in deterministic order."""
+        now = self.env.now
+        src_site, _ = split_address(msg.src)
+        dst_site, _ = split_address(msg.dst)
+        extra_delay = 0.0
+        multiplier = 1.0
+        duplicates = 0
+        touched = False
+        for spec in self._windows:
+            if not spec.active(now):
+                continue
+            if isinstance(spec, LinkPartition):
+                if spec.severs(src_site, dst_site):
+                    self._record("partition-drop", kind=msg.kind,
+                                 src=msg.src, dst=msg.dst,
+                                 link="~".join(sorted((spec.site_a,
+                                                       spec.site_b))))
+                    return FaultAction(drop=True)
+            elif isinstance(spec, LinkDegradation):
+                if not spec.severs(src_site, dst_site):
+                    continue
+                if spec.drop_prob and self.rng.random() < spec.drop_prob:
+                    self._record("msg-drop", kind=msg.kind, src=msg.src,
+                                 dst=msg.dst, cause="degradation")
+                    return FaultAction(drop=True)
+                multiplier *= spec.delay_factor
+                touched = True
+                self._record("msg-delay", kind=msg.kind, src=msg.src,
+                             dst=msg.dst, factor=spec.delay_factor)
+            else:  # MessageFaults
+                if not spec.matches(msg):
+                    continue
+                if spec.drop_prob and self.rng.random() < spec.drop_prob:
+                    self._record("msg-drop", kind=msg.kind, src=msg.src,
+                                 dst=msg.dst, cause="message-faults")
+                    return FaultAction(drop=True)
+                if spec.dup_prob and self.rng.random() < spec.dup_prob:
+                    duplicates += 1
+                    touched = True
+                    self._record("msg-dup", kind=msg.kind, src=msg.src,
+                                 dst=msg.dst)
+                if spec.delay_prob and self.rng.random() < spec.delay_prob:
+                    extra_delay += spec.delay_s
+                    touched = True
+                    self._record("msg-delay", kind=msg.kind, src=msg.src,
+                                 dst=msg.dst, delay_s=spec.delay_s)
+        if not touched:
+            return None
+        return FaultAction(extra_delay_s=extra_delay,
+                           delay_multiplier=multiplier,
+                           duplicates=duplicates)

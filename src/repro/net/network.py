@@ -40,6 +40,21 @@ def split_address(addr: str) -> tuple[str, str]:
     return parts[0], f"{parts[0]}/{parts[1]}"
 
 
+@dataclass(frozen=True)
+class FaultAction:
+    """Verdict a fault hook returns for one message.
+
+    ``drop`` discards the message outright; otherwise the modelled delay
+    is scaled by ``delay_multiplier`` plus ``extra_delay_s``, and
+    ``duplicates`` extra copies are delivered alongside the original.
+    """
+
+    drop: bool = False
+    extra_delay_s: float = 0.0
+    delay_multiplier: float = 1.0
+    duplicates: int = 0
+
+
 @dataclass
 class TrafficStats:
     """Message/byte counters, overall and per message kind."""
@@ -47,6 +62,8 @@ class TrafficStats:
     messages: int = 0
     bytes: float = 0.0
     dropped: int = 0
+    injected_drops: int = 0
+    injected_duplicates: int = 0
     by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     bytes_by_kind: dict[str, float] = field(
         default_factory=lambda: defaultdict(float))
@@ -74,6 +91,10 @@ class Network:
         #: predicate deciding whether the *host* owning an address is up;
         #: installed by the failure-injection layer.
         self.is_up: Callable[[str], bool] = lambda host: True
+        #: optional per-message fault hook returning a
+        #: :class:`FaultAction` (or None for no fault); installed by
+        #: :class:`repro.faults.FaultInjector`.
+        self.fault_hook: Callable[[Message], FaultAction | None] | None = None
 
     # -- endpoints --------------------------------------------------------
     def register(self, addr: str) -> Store:
@@ -129,7 +150,19 @@ class Network:
             self.tracer.record(self.env.now, "net:dropped", src, dst=dst,
                                kind=kind)
             return msg
+        action = self.fault_hook(msg) if self.fault_hook is not None else None
+        if action is not None and action.drop:
+            self.stats.dropped += 1
+            self.stats.injected_drops += 1
+            self.tracer.record(self.env.now, "net:injected-drop", src,
+                               dst=dst, kind=kind)
+            return msg
         delay = self.delay_for(src, dst, size_bytes)
+        copies = 1
+        if action is not None:
+            delay = delay * action.delay_multiplier + action.extra_delay_s
+            copies += action.duplicates
+            self.stats.injected_duplicates += action.duplicates
 
         def deliver(env, box=box, msg=msg, delay=delay):
             yield env.timeout(delay)
@@ -139,7 +172,8 @@ class Network:
             else:
                 self.stats.dropped += 1
 
-        self.env.process(deliver(self.env), name=f"deliver:{kind}")
+        for _ in range(copies):
+            self.env.process(deliver(self.env), name=f"deliver:{kind}")
         return msg
 
     def multicast(self, src: str, dsts: Iterable[str], kind: str,

@@ -16,6 +16,7 @@ from repro.net import ECHO_REPLY, ECHO_REQUEST, LOAD_REPORT
 from repro.net.network import Network
 from repro.resources.host import Host
 from repro.simcore.engine import Environment
+from repro.simcore.trace import Tracer
 from repro.util.errors import ConfigurationError
 
 
@@ -25,7 +26,8 @@ class MonitorDaemon:
     SERVICE = "monitor"
 
     def __init__(self, env: Environment, network: Network, host: Host,
-                 group_leader_addr: str, period_s: float = 2.0) -> None:
+                 group_leader_addr: str, period_s: float = 2.0,
+                 tracer: Tracer | None = None) -> None:
         if period_s <= 0:
             raise ConfigurationError("monitor period must be positive")
         self.env = env
@@ -33,12 +35,17 @@ class MonitorDaemon:
         self.host = host
         self.group_leader_addr = group_leader_addr
         self.period_s = period_s
+        self.tracer = tracer or Tracer(enabled=False)
         self.address = f"{host.address}/{self.SERVICE}"
         self.mailbox = network.register(self.address)
         self.reports_sent = 0
+        #: observed local up/down transitions: (time, "crashed"/"recovered")
+        self.transitions: list[tuple[float, str]] = []
         self._sampler = env.process(self._sample_loop(), name=f"mon:{host.name}")
         self._responder = env.process(self._respond_loop(),
                                       name=f"mon-echo:{host.name}")
+        self._watcher = env.process(self._crash_watch_loop(),
+                                    name=f"mon-watch:{host.name}")
 
     # -- measurement ---------------------------------------------------------
     def measure(self) -> dict:
@@ -60,6 +67,36 @@ class MonitorDaemon:
                               size_bytes=64)
             self.reports_sent += 1
 
+    # -- local crash detection ----------------------------------------------
+    def _crash_watch_loop(self):
+        """Observe the host's own up/down state each sampling period.
+
+        The Group Manager infers remote crashes from echo silence; the
+        Monitor records the local ground truth into the trace so
+        post-mortem analysis can separate detection latency from the
+        fault itself.  On recovery it pushes a load report at once
+        instead of waiting out the period, so repositories catch up a
+        period earlier.
+        """
+        was_up = self.host.up
+        while True:
+            yield self.env.timeout(self.period_s)
+            if self.host.up == was_up:
+                continue
+            was_up = self.host.up
+            if not self.host.up:
+                self.transitions.append((self.env.now, "crashed"))
+                self.tracer.record(self.env.now, "mon:crashed",
+                                   self.address)
+            else:
+                self.transitions.append((self.env.now, "recovered"))
+                self.tracer.record(self.env.now, "mon:recovered",
+                                   self.address)
+                self.network.send(self.address, self.group_leader_addr,
+                                  LOAD_REPORT, payload=self.measure(),
+                                  size_bytes=64)
+                self.reports_sent += 1
+
     # -- echo ---------------------------------------------------------------
     def _respond_loop(self):
         while True:
@@ -72,6 +109,6 @@ class MonitorDaemon:
 
     def stop(self) -> None:
         """Terminate the daemon's processes (simulation teardown)."""
-        for proc in (self._sampler, self._responder):
+        for proc in (self._sampler, self._responder, self._watcher):
             if proc.is_alive:
                 proc.interrupt("stop")

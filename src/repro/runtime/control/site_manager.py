@@ -151,6 +151,18 @@ class SiteManager:
             self.repository.resource_performance.mark_down(host, self.env.now)
         self.tracer.record(self.env.now, "sm:host-down", self.address,
                            host=host)
+        # A host that died before acking its channels would block the
+        # start signal forever; waive its ack for executions that have
+        # not started (its tasks get rerouted by the host-down hook).
+        for state in self._executions.values():
+            if state.started or host not in state.expected_acks:
+                continue
+            state.expected_acks.discard(host)
+            state.received_acks.discard(host)
+            state.controllers.discard(f"{host}/appctl")
+            self.tracer.record(self.env.now, "sm:ack-waived", self.address,
+                               execution=state.execution_id, host=host)
+            self._maybe_start(state)
 
     def _on_host_up(self, msg) -> None:
         host = msg.payload["host"]
@@ -345,16 +357,21 @@ class SiteManager:
         if state is None or state.started:
             return
         state.received_acks.add(payload["host"])
-        if state.received_acks >= state.expected_acks:
-            state.started = True
-            state.start_signal_time = self.env.now
-            for ctl in sorted(state.controllers):
-                self.network.send(self.address, ctl, START_SIGNAL,
-                                  payload={"execution_id":
-                                           state.execution_id},
-                                  size_bytes=32)
-            self.tracer.record(self.env.now, "sm:start-signal", self.address,
-                               execution=state.execution_id)
+        self._maybe_start(state)
+
+    def _maybe_start(self, state: ExecutionState) -> None:
+        """Emit the start signal once every expected ack is in (or waived)."""
+        if state.started or not (state.received_acks >= state.expected_acks):
+            return
+        state.started = True
+        state.start_signal_time = self.env.now
+        for ctl in sorted(state.controllers):
+            self.network.send(self.address, ctl, START_SIGNAL,
+                              payload={"execution_id":
+                                       state.execution_id},
+                              size_bytes=32)
+        self.tracer.record(self.env.now, "sm:start-signal", self.address,
+                           execution=state.execution_id)
 
     # -- completion recording ---------------------------------------------------
     def _on_task_completed(self, msg) -> None:

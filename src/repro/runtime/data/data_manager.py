@@ -25,10 +25,11 @@ from repro.net import CHANNEL_ACK, CHANNEL_SETUP, TASK_DATA
 from repro.net.network import Network
 from repro.resources.host import Host
 from repro.runtime.data.conversion import conversion_cost_s, convert
+from repro.runtime.data.messaging import RetryPolicy
 from repro.simcore.engine import Environment
 from repro.simcore.store import Store
 from repro.simcore.trace import Tracer
-from repro.util.errors import ChannelError
+from repro.util.errors import ChannelError, DeliveryTimeoutError
 
 
 def channel_key(execution_id: str, dst_node: str, dst_port: str) -> str:
@@ -60,6 +61,8 @@ class ChannelSpec:
 class DataManagerStats:
     channels_opened: int = 0
     setups_requested: int = 0
+    retries: int = 0
+    setups_abandoned: int = 0
     data_messages_sent: int = 0
     data_bytes_sent: float = 0.0
     conversions: int = 0
@@ -73,10 +76,12 @@ class DataManager:
 
     def __init__(self, env: Environment, network: Network, host: Host,
                  byte_orders: dict[str, str] | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.env = env
         self.network = network
         self.host = host
+        self.retry_policy = retry_policy or RetryPolicy()
         self.tracer = tracer or Tracer(enabled=False)
         self.address = f"{host.address}/{self.SERVICE}"
         self.mailbox = network.register(self.address)
@@ -123,14 +128,58 @@ class DataManager:
             del self._endpoints[key]
 
     # -- setup handshake (send side; Figure 7 steps 2-4) ---------------------
-    def setup_channels(self, specs: list[ChannelSpec]):
+    def _setup_one(self, spec: ChannelSpec):
+        """Process: handshake one cross-host channel with retry/backoff.
+
+        Each unanswered setup is resent after the policy's (growing)
+        timeout; returns True on ack, False when the budget is exhausted
+        — by then either the peer host is down (the Group Manager will
+        report it) or the link is partitioned beyond the retry horizon.
+        """
+        policy = self.retry_policy
+        for attempt in range(1, policy.max_attempts + 1):
+            ack = self.env.event()
+            self._pending_acks[spec.key] = ack
+            self.stats.setups_requested += 1
+            self.network.send(
+                self.address, f"{spec.dst_host}/{self.SERVICE}",
+                CHANNEL_SETUP,
+                payload={"spec": spec, "reply_to": self.address},
+                size_bytes=96)
+            index, _ = yield self.env.any_of(
+                [ack, self.env.timeout(policy.timeout_for(attempt))])
+            if index == 0:
+                return True
+            if attempt < policy.max_attempts:
+                self.stats.retries += 1
+                self.tracer.record(self.env.now, "dm:retry", self.address,
+                                   key=spec.key, attempt=attempt + 1,
+                                   dst=spec.dst_host)
+        self.stats.setups_abandoned += 1
+        self.tracer.record(self.env.now, "dm:setup-abandoned", self.address,
+                           key=spec.key, dst=spec.dst_host,
+                           attempts=policy.max_attempts)
+        self._pending_acks.pop(spec.key, None)
+        return False
+
+    def setup_channels(self, specs: list[ChannelSpec],
+                       on_failure: str = "abandon"):
         """Process: handshake every outgoing cross-host channel.
 
         Local (same-host) channels are opened synchronously by the
         consumer side; cross-host channels require a setup round-trip to
-        the peer Data Manager.  Returns when every ack arrived.
+        the peer Data Manager, retried per :class:`RetryPolicy`.  With
+        ``on_failure="abandon"`` (default) exhausted handshakes are
+        dropped — safe because the consumer opens its own endpoints, so
+        data still lands if the peer comes back; ``on_failure="raise"``
+        raises :class:`DeliveryTimeoutError` instead.
         """
-        pending: dict[str, object] = {}
+        if on_failure not in ("abandon", "raise"):
+            raise ChannelError(
+                f"on_failure must be 'abandon' or 'raise', got "
+                f"{on_failure!r}")
+        procs = []
+        remote = []
         for spec in specs:
             if spec.src_host != self.host.address:
                 raise ChannelError(
@@ -138,17 +187,16 @@ class DataManager:
                     f"{self.host.address}")
             if not spec.crosses_hosts:
                 continue  # receiver opened it locally; no wire handshake
-            ack = self.env.event()
-            pending[spec.key] = ack
-            self.stats.setups_requested += 1
-            self.network.send(
-                self.address, f"{spec.dst_host}/{self.SERVICE}",
-                CHANNEL_SETUP,
-                payload={"spec": spec, "reply_to": self.address},
-                size_bytes=96)
-        self._pending_acks.update(pending)
-        if pending:
-            yield self.env.all_of(list(pending.values()))
+            remote.append(spec)
+            procs.append(self.env.process(
+                self._setup_one(spec), name=f"dm:setup:{spec.key}"))
+        if procs:
+            outcomes = yield self.env.all_of(procs)
+            failed = [s.key for s, ok in zip(remote, outcomes) if not ok]
+            if failed and on_failure == "raise":
+                raise DeliveryTimeoutError(
+                    f"channel setup exhausted retries for {failed} "
+                    f"(policy: {self.retry_policy})")
         self.tracer.record(self.env.now, "dm:channels-ready", self.address,
                            count=len(specs))
         return len(specs)
@@ -196,9 +244,17 @@ class DataManager:
                               size_bytes=size_bytes)
         else:
             # same machine: inter-process communication (pipes/shm), not
-            # the network — modelled as immediate local delivery
-            self.endpoint(spec.key).put({"key": spec.key, "value": value,
-                                         "src_node": spec.src_node})
+            # the network — modelled as immediate local delivery.  The
+            # endpoint may be gone when the consumer was rescheduled away
+            # (e.g. this host crashed and recovered with stale work):
+            # drop, exactly like the cross-host orphan-data path.
+            store = self._endpoints.get(spec.key)
+            if store is None:
+                self.tracer.record(self.env.now, "dm:orphan-data",
+                                   self.address, key=spec.key)
+            else:
+                store.put({"key": spec.key, "value": value,
+                           "src_node": spec.src_node})
         return size_bytes
 
     def _on_task_data(self, msg) -> None:

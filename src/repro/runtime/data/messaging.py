@@ -23,11 +23,61 @@ from typing import Any
 
 import numpy as np
 
-from repro.util.errors import DataConversionError
+from repro.util.errors import ConfigurationError, DataConversionError
 
 MAGIC = b"VDCE"
 _KIND_ARRAY = 1
 _KIND_JSON = 2
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-message timeout with bounded exponential backoff.
+
+    Attempt *n* (1-based) waits ``min(timeout_s * backoff_factor**(n-1),
+    max_timeout_s)`` for an answer before resending; after
+    ``max_attempts`` unanswered sends the exchange is abandoned.  The
+    defaults give a ~15 s total budget (1 + 2 + 4 + 8), sized so a
+    handshake can ride out the short link partitions chaos plans inject
+    (see ``docs/faults.md``).
+    """
+
+    timeout_s: float = 1.0
+    max_attempts: int = 4
+    backoff_factor: float = 2.0
+    max_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.max_timeout_s < self.timeout_s:
+            raise ConfigurationError(
+                "max_timeout_s must be >= timeout_s "
+                f"({self.max_timeout_s} < {self.timeout_s})")
+
+    def timeout_for(self, attempt: int) -> float:
+        """Wait budget for the *attempt*-th send (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt is 1-based, got {attempt}")
+        return min(self.timeout_s * self.backoff_factor ** (attempt - 1),
+                   self.max_timeout_s)
+
+    def schedule(self) -> list[float]:
+        """The full timeout ladder, one entry per attempt."""
+        return [self.timeout_for(n) for n in
+                range(1, self.max_attempts + 1)]
+
+    @property
+    def total_wait_s(self) -> float:
+        """Worst-case total time spent waiting before giving up."""
+        return sum(self.schedule())
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,11 @@ from repro.util.errors import RuntimeSystemError
 _DEFAULT_CATEGORIES = (
     "task-start", "task-finish", "task-terminated", "vdce:rescheduled",
     "sm:db-update", "sm:start-signal", "gm:host-down", "gm:host-up",
+    # fault forensics: injected faults, retries, and detection events
+    "fault:host-down", "fault:host-up", "fault:site-down", "fault:site-up",
+    "fault:partition-drop", "fault:msg-drop", "fault:msg-delay",
+    "fault:msg-dup", "dm:retry", "dm:setup-abandoned", "sm:ack-waived",
+    "mon:crashed", "mon:recovered",
 )
 
 

@@ -1,0 +1,20 @@
+"""Chaos-suite configuration: the seed set comes from the environment.
+
+CI runs this suite with ``CHAOS_SEEDS`` pinned (see
+``.github/workflows/ci.yml``) so flakes are reproducible by seed;
+locally the same three seeds are the default.
+"""
+
+import os
+
+import pytest
+
+
+def chaos_seeds() -> list[int]:
+    raw = os.environ.get("CHAOS_SEEDS", "101,202,303")
+    return [int(tok) for tok in raw.replace(" ", "").split(",") if tok]
+
+
+@pytest.fixture(params=chaos_seeds(), ids=lambda s: f"seed{s}")
+def chaos_seed(request) -> int:
+    return request.param

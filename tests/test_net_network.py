@@ -3,6 +3,7 @@
 import pytest
 
 from repro.net import ATM_OC3, Message, Network, Topology, split_address
+from repro.net.network import FaultAction, TrafficStats
 from repro.simcore import Environment
 from repro.util.errors import ChannelError, ConfigurationError
 
@@ -123,6 +124,42 @@ class TestFailureDrops:
         assert box.try_get() is None
 
 
+class TestDelayForEdgeCases:
+    def test_zero_byte_payload_still_costs_latency(self):
+        env, net = make_net()
+        delay = net.delay_for("s1/h1", "s2/h1", 0)
+        assert delay >= ATM_OC3.latency_s + net.per_message_overhead_s
+
+    def test_zero_byte_loopback_costs_only_overhead(self):
+        env, net = make_net()
+        delay = net.delay_for("s1/h1", "s1/h1/svc", 0)
+        assert delay == pytest.approx(1e-5 + net.per_message_overhead_s)
+
+    def test_self_send_src_equals_dst(self):
+        env, net = make_net()
+        box = net.register("s1/h1")
+        net.send("s1/h1", "s1/h1", "note", payload="self")
+        env.run()
+        msg = box.try_get()
+        assert msg is not None and msg.src == msg.dst == "s1/h1"
+
+    def test_self_send_uses_loopback_not_topology(self):
+        env, net = make_net()
+        # loopback between services of one host must not consult the WAN
+        assert net.delay_for("s1/h1/a", "s1/h1/b", 1000) < \
+            net.delay_for("s1/h1", "s1/h2", 1000)
+
+    def test_unknown_site_raises(self):
+        env, net = make_net()
+        with pytest.raises(Exception):
+            net.delay_for("s1/h1", "atlantis/h1", 100)
+
+    def test_malformed_address_raises(self):
+        env, net = make_net()
+        with pytest.raises(ConfigurationError):
+            net.delay_for("/bad", "s2/h1", 100)
+
+
 class TestTrafficStats:
     def test_counters(self):
         env, net = make_net()
@@ -134,6 +171,81 @@ class TestTrafficStats:
         assert net.stats.bytes == 175
         assert net.stats.by_kind == {"a": 2, "b": 1}
         assert net.stats.bytes_by_kind["a"] == 150
+
+    def test_account_zero_byte_message(self):
+        stats = TrafficStats()
+        stats.account(Message(src="a", dst="b", kind="k", size_bytes=0))
+        assert stats.messages == 1
+        assert stats.bytes == 0
+        assert stats.by_kind == {"k": 1}
+        assert stats.bytes_by_kind["k"] == 0
+
+    def test_account_accumulates_float_bytes(self):
+        stats = TrafficStats()
+        stats.account(Message(src="a", dst="b", kind="k", size_bytes=0.5))
+        stats.account(Message(src="a", dst="b", kind="k", size_bytes=0.25))
+        assert stats.bytes == pytest.approx(0.75)
+
+    def test_dropped_messages_still_accounted_as_sent(self):
+        env, net = make_net()
+        net.register("s2/h1")
+        net.is_up = lambda host: host != "s2/h1"
+        net.send("s1/h1", "s2/h1", "a", size_bytes=10)
+        assert net.stats.messages == 1
+        assert net.stats.dropped == 1
+
+
+class TestFaultHook:
+    def test_hook_drop_counts_injected(self):
+        env, net = make_net()
+        box = net.register("s2/h1")
+        net.fault_hook = lambda msg: FaultAction(drop=True)
+        net.send("s1/h1", "s2/h1", "ping")
+        env.run()
+        assert box.try_get() is None
+        assert net.stats.dropped == 1
+        assert net.stats.injected_drops == 1
+
+    def test_hook_duplicate_delivers_copies(self):
+        env, net = make_net()
+        box = net.register("s2/h1")
+        net.fault_hook = lambda msg: FaultAction(duplicates=2)
+        net.send("s1/h1", "s2/h1", "ping", payload=1)
+        env.run()
+        got = []
+        while box.try_get() is not None:
+            got.append(1)
+        assert len(got) == 3
+        assert net.stats.injected_duplicates == 2
+
+    def test_hook_delay_slows_delivery(self):
+        env, net = make_net()
+        box = net.register("s2/h1")
+        net.fault_hook = lambda msg: FaultAction(extra_delay_s=1.0)
+        net.send("s1/h1", "s2/h1", "ping", size_bytes=0)
+        env.run(until=0.5)
+        assert box.try_get() is None
+        env.run()
+        assert box.try_get() is not None
+        assert env.now >= 1.0
+
+    def test_hook_none_means_no_fault(self):
+        env, net = make_net()
+        box = net.register("s2/h1")
+        net.fault_hook = lambda msg: None
+        net.send("s1/h1", "s2/h1", "ping")
+        env.run()
+        assert box.try_get() is not None
+        assert net.stats.injected_drops == 0
+
+    def test_hook_not_consulted_for_down_host(self):
+        env, net = make_net()
+        calls = []
+        net.register("s2/h1")
+        net.is_up = lambda host: host != "s2/h1"
+        net.fault_hook = lambda msg: calls.append(msg)
+        net.send("s1/h1", "s2/h1", "ping")
+        assert calls == []  # natural drop wins before injection
 
 
 class TestMessage:
