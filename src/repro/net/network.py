@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.net.message import Message
 from repro.net.topology import Topology
@@ -26,11 +27,13 @@ from repro.simcore.trace import Tracer
 from repro.util.errors import ChannelError, ConfigurationError
 
 
+@lru_cache(maxsize=4096)
 def split_address(addr: str) -> tuple[str, str]:
     """Split ``site/host[/service]`` into ``(site, host)``.
 
     Addresses with no ``/`` are site-level actors (e.g. a site manager):
-    site == host == addr.
+    site == host == addr.  The function is pure, and every ``send``
+    splits both endpoints, so results are memoized.
     """
     parts = addr.split("/")
     if not parts[0]:
@@ -137,32 +140,46 @@ class Network:
         error, unlike a *down* host which is a simulated fault and drops
         silently).
         """
+        env = self.env
+        now = env.now
+        stats = self.stats
+        tracer = self.tracer
         msg = Message(src=src, dst=dst, kind=kind, payload=payload,
-                      size_bytes=size_bytes, send_time=self.env.now)
+                      size_bytes=size_bytes, send_time=now)
         box = self.mailbox(dst)
-        _dst_site, dst_host = split_address(dst)
-        _src_site, src_host = split_address(src)
-        self.stats.account(msg)
-        self.tracer.record(self.env.now, f"net:{kind}", src,
-                           dst=dst, bytes=size_bytes)
+        dst_site, dst_host = split_address(dst)
+        src_site, src_host = split_address(src)
+        # inlined TrafficStats.account: sends dominate, and the method
+        # call plus Message re-reads are measurable at message rate
+        stats.messages += 1
+        stats.bytes += size_bytes
+        stats.by_kind[kind] += 1
+        stats.bytes_by_kind[kind] += size_bytes
+        if tracer.enabled:
+            tracer.record(now, f"net:{kind}", src, dst=dst, bytes=size_bytes)
         if not (self.is_up(dst_host) and self.is_up(src_host)):
-            self.stats.dropped += 1
-            self.tracer.record(self.env.now, "net:dropped", src, dst=dst,
-                               kind=kind)
+            stats.dropped += 1
+            if tracer.enabled:
+                tracer.record(now, "net:dropped", src, dst=dst, kind=kind)
             return msg
         action = self.fault_hook(msg) if self.fault_hook is not None else None
         if action is not None and action.drop:
-            self.stats.dropped += 1
-            self.stats.injected_drops += 1
-            self.tracer.record(self.env.now, "net:injected-drop", src,
-                               dst=dst, kind=kind)
+            stats.dropped += 1
+            stats.injected_drops += 1
+            if tracer.enabled:
+                tracer.record(now, "net:injected-drop", src, dst=dst,
+                              kind=kind)
             return msg
-        delay = self.delay_for(src, dst, size_bytes)
+        if src_host == dst_host:
+            wire = 1e-5 + size_bytes / 1e9  # loopback
+        else:
+            wire = self.topology.transfer_time(src_site, dst_site, size_bytes)
+        delay = wire + self.per_message_overhead_s
         copies = 1
         if action is not None:
             delay = delay * action.delay_multiplier + action.extra_delay_s
             copies += action.duplicates
-            self.stats.injected_duplicates += action.duplicates
+            stats.injected_duplicates += action.duplicates
 
         def deliver(env, box=box, msg=msg, delay=delay):
             yield env.timeout(delay)
@@ -173,7 +190,7 @@ class Network:
                 self.stats.dropped += 1
 
         for _ in range(copies):
-            self.env.process(deliver(self.env), name=f"deliver:{kind}")
+            env.process(deliver(env), name=f"deliver:{kind}")
         return msg
 
     def multicast(self, src: str, dsts: Iterable[str], kind: str,

@@ -64,6 +64,12 @@ class Topology:
         self._lan: dict[str, LinkSpec] = {}
         self._default_lan = lan
         self._loopback = loopback
+        # (src, dst) -> (path latency sum, bottleneck bandwidth): every
+        # send() re-derives this pair, so cache it; construction edits
+        # invalidate.  Keyed per *ordered* pair — shortest_path tie-breaks
+        # are not guaranteed symmetric, and the cache must reproduce the
+        # uncached per-call result exactly.
+        self._pair_cache: dict[tuple[str, str], tuple[float, float]] = {}
 
     # -- construction -----------------------------------------------------
     def add_site(self, site: str, lan: LinkSpec | None = None) -> None:
@@ -72,6 +78,7 @@ class Topology:
             raise ConfigurationError(f"site {site!r} already in topology")
         self._graph.add_node(site)
         self._lan[site] = lan or self._default_lan
+        self._pair_cache.clear()
 
     def connect(self, a: str, b: str, link: LinkSpec = ATM_OC3) -> None:
         """Add a WAN link between sites *a* and *b*."""
@@ -81,6 +88,7 @@ class Topology:
         if a == b:
             raise ConfigurationError("cannot connect a site to itself")
         self._graph.add_edge(a, b, link=link)
+        self._pair_cache.clear()
 
     @property
     def sites(self) -> list[str]:
@@ -123,15 +131,20 @@ class Topology:
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
         if src == dst:
-            return self.lan(src).transfer_time(nbytes)
-        hops = self.path(src, dst)
-        latency = 0.0
-        bottleneck = float("inf")
-        for u, v in zip(hops, hops[1:]):
-            link: LinkSpec = self._graph.edges[u, v]["link"]
-            latency += link.latency_s
-            bottleneck = min(bottleneck, link.bandwidth_bps)
-        return latency + nbytes / bottleneck
+            spec = self.lan(src)
+            return spec.latency_s + nbytes / spec.bandwidth_bps
+        pair = self._pair_cache.get((src, dst))
+        if pair is None:
+            hops = self.path(src, dst)
+            latency = 0.0
+            bottleneck = float("inf")
+            for u, v in zip(hops, hops[1:]):
+                link: LinkSpec = self._graph.edges[u, v]["link"]
+                latency += link.latency_s
+                bottleneck = min(bottleneck, link.bandwidth_bps)
+            pair = (latency, bottleneck)
+            self._pair_cache[(src, dst)] = pair
+        return pair[0] + nbytes / pair[1]
 
     def neighbors_by_latency(self, site: str) -> list[str]:
         """Every other reachable site ordered by ascending latency.

@@ -33,6 +33,10 @@ from repro.util.errors import NoFeasibleHostError
 #: Paging penalty slope, matching Host.slowdown's ground truth.
 MEMORY_PENALTY_SLOPE = 4.0
 
+#: Memoization cap: the cache is cleared wholesale when it grows past
+#: this, bounding memory during long runs with churning record versions.
+CACHE_MAX_ENTRIES = 4096
+
 
 @dataclass(frozen=True)
 class Prediction:
@@ -49,7 +53,17 @@ class Prediction:
 
 
 class PerformancePredictor:
-    """Evaluates Predict(task, R) against the repository view."""
+    """Evaluates Predict(task, R) against the repository view.
+
+    Evaluations are memoized per (task, input size, processors, record
+    snapshot): the key includes the record's ``version`` stamp and the
+    task-performance DB's weight ``version``, so a monitoring update,
+    status change, or weight refinement automatically invalidates the
+    affected entries — rescheduling after repository updates always sees
+    fresh loads.  Call :meth:`invalidate` after mutating records outside
+    the :class:`~repro.repository.resource_perf.ResourcePerformanceDB`
+    API (direct field writes bypass the version stamps).
+    """
 
     def __init__(self, task_performance: TaskPerformanceDB,
                  forecaster: Forecaster | None = None,
@@ -61,6 +75,11 @@ class PerformancePredictor:
         self.use_weight = use_weight
         self.use_load = use_load
         self.use_memory = use_memory
+        self._cache: dict[tuple, Prediction] = {}
+
+    def invalidate(self) -> None:
+        """Drop every memoized evaluation (out-of-band record changes)."""
+        self._cache.clear()
 
     # -- components -------------------------------------------------------
     def weight_for(self, definition: TaskDefinition,
@@ -92,37 +111,85 @@ class PerformancePredictor:
         return 1.0 + MEMORY_PENALTY_SLOPE * overflow / total
 
     # -- the prediction function ------------------------------------------
+    def _cache_key(self, definition: TaskDefinition, input_size: float,
+                   record: ResourceRecord, processors: int) -> tuple:
+        return (definition.name, input_size, processors, record.address,
+                record.version, self.task_performance.version)
+
     def predict(self, definition: TaskDefinition, input_size: float,
                 record: ResourceRecord, processors: int = 1) -> Prediction:
-        """Evaluate Predict(task, R_j) for one host."""
+        """Evaluate Predict(task, R_j) for one host (memoized)."""
+        key = self._cache_key(definition, input_size, record, processors)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
         base = definition.base_execution_time(input_size,
                                               processors=processors)
         weight = self.weight_for(definition, record)
         load = self.load_forecast_for(record)
         mem = self.memory_penalty_for(definition, input_size, record)
         estimate = base * weight * (1.0 + load) * mem
-        return Prediction(
+        prediction = Prediction(
             task_name=definition.name, host=record.address,
             estimate_s=estimate, base_time_s=base, weight=weight,
             load_forecast=load, memory_penalty=mem,
             feasible=record.status == "up")
+        if len(self._cache) >= CACHE_MAX_ENTRIES:
+            self._cache.clear()
+        self._cache[key] = prediction
+        return prediction
+
+    def _estimate(self, definition: TaskDefinition, input_size: float,
+                  record: ResourceRecord, processors: int) -> float:
+        """The scalar estimate alone — no Prediction allocation.
+
+        Serves :meth:`best_host`'s streaming scan: hosts that cannot win
+        never get a Prediction object built for them.  Reuses a memoized
+        Prediction when one exists but does not populate the cache.
+        """
+        cached = self._cache.get(
+            self._cache_key(definition, input_size, record, processors))
+        if cached is not None:
+            return cached.estimate_s
+        base = definition.base_execution_time(input_size,
+                                              processors=processors)
+        return (base * self.weight_for(definition, record)
+                * (1.0 + self.load_forecast_for(record))
+                * self.memory_penalty_for(definition, input_size, record))
 
     def best_host(self, definition: TaskDefinition, input_size: float,
                   records: list[ResourceRecord],
-                  processors: int = 1) -> Prediction:
+                  processors: int = 1,
+                  diagnostics: list[Prediction] | None = None) -> Prediction:
         """The minimum-estimate feasible host among *records*.
 
         Deterministic tie-break on host address.  Raises
         :class:`NoFeasibleHostError` when every candidate is down or the
         list is empty — the caller (Host Selection Algorithm) has already
         applied constraint filtering.
+
+        The scan streams the minimum: only the winner's Prediction is
+        materialised.  Pass a *diagnostics* list to additionally receive
+        the full evaluation for every up host (the pre-streaming
+        behaviour, for callers that want to inspect the losers).
         """
-        candidates = [
-            self.predict(definition, input_size, rec, processors)
-            for rec in records if rec.status == "up"
-        ]
-        if not candidates:
+        best_rec = None
+        best_est = float("inf")
+        for rec in records:
+            if rec.status != "up":
+                continue
+            if diagnostics is not None:
+                p = self.predict(definition, input_size, rec, processors)
+                diagnostics.append(p)
+                est = p.estimate_s
+            else:
+                est = self._estimate(definition, input_size, rec, processors)
+            if est < best_est or (est == best_est and best_rec is not None
+                                  and rec.address < best_rec.address):
+                best_est = est
+                best_rec = rec
+        if best_rec is None:
             raise NoFeasibleHostError(
                 f"no feasible host for task {definition.name!r} "
                 f"among {len(records)} records")
-        return min(candidates, key=lambda p: (p.estimate_s, p.host))
+        return self.predict(definition, input_size, best_rec, processors)

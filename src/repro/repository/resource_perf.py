@@ -44,6 +44,10 @@ class ResourceRecord:
     last_update: float = 0.0
     load_window: list[float] = field(default_factory=list)
     load_window_times: list[float] = field(default_factory=list)
+    #: Monotone snapshot stamp, bumped by the owning DB on every dynamic
+    #: update or status change.  Prediction memoization keys on it, so a
+    #: changed version is what invalidates cached Predict results.
+    version: int = 0
 
     @property
     def address(self) -> str:
@@ -57,6 +61,14 @@ class ResourcePerformanceDB:
         self._table = Table("resource-performance")
         self._records: dict[str, ResourceRecord] = {}
         self.window = window
+        # DB-wide version clock: every mutation stamps the touched record
+        # with a fresh value, so (address, version) pairs never repeat —
+        # even across unregister/re-register of the same host.
+        self._version_clock = 0
+
+    def _stamp(self, rec: ResourceRecord) -> None:
+        self._version_clock += 1
+        rec.version = self._version_clock
 
     # -- registration ----------------------------------------------------
     def register_host(self, site: str, spec: HostSpec) -> ResourceRecord:
@@ -67,6 +79,7 @@ class ResourcePerformanceDB:
             total_memory_mb=spec.memory_mb, group=spec.group,
             available_memory_mb=spec.memory_mb,
         )
+        self._stamp(rec)
         self._records[rec.address] = rec
         return rec
 
@@ -89,18 +102,21 @@ class ResourcePerformanceDB:
         if len(rec.load_window) > self.window:
             del rec.load_window[0]
             del rec.load_window_times[0]
+        self._stamp(rec)
 
     def mark_down(self, address: str, time: float) -> None:
         """Record a detected host failure (scheduling excludes it)."""
         rec = self.get(address)
         rec.status = "down"
         rec.last_update = time
+        self._stamp(rec)
 
     def mark_up(self, address: str, time: float) -> None:
         """Record a detected host recovery."""
         rec = self.get(address)
         rec.status = "up"
         rec.last_update = time
+        self._stamp(rec)
 
     # -- queries -----------------------------------------------------------
     def get(self, address: str) -> ResourceRecord:
@@ -140,4 +156,8 @@ class ResourcePerformanceDB:
         for _key, row in db._table.items():
             rec = ResourceRecord(**row)
             db._records[rec.address] = rec
+        # resume the clock past every persisted stamp so future mutations
+        # never reuse a (address, version) pair
+        db._version_clock = max(
+            (r.version for r in db._records.values()), default=0)
         return db

@@ -64,6 +64,16 @@ class TaskPerformanceDB:
         self._records: dict[str, TaskPerformanceRecord] = {}
         self._weights: dict[str, float] = {}  # key: task|host
         self._history: dict[str, list[ExecutionSample]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped whenever a weight changes.
+
+        Prediction memoization keys on it so cached ``Predict`` values go
+        stale the moment calibration or EWMA refinement lands.
+        """
+        return self._version
 
     # -- task registration ----------------------------------------------
     def register_task(self, task_name: str, base_time_s: float,
@@ -104,6 +114,7 @@ class TaskPerformanceDB:
             raise RepositoryError("computing-power weight must be positive")
         self.get(task_name)  # validate task exists
         self._weights[composite_key(task_name, host)] = weight
+        self._version += 1
 
     def weight(self, task_name: str, host: str,
                default: float | None = None) -> float:
@@ -151,6 +162,7 @@ class TaskPerformanceDB:
                 self._weights[key] = observed
             else:
                 self._weights[key] = (1 - self.ALPHA) * prev + self.ALPHA * observed
+            self._version += 1
         self._history.setdefault(task_name, []).append(sample)
 
     def history(self, task_name: str,

@@ -14,6 +14,9 @@ the scheduling algorithm").
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
+from typing import KeysView
+
 from repro.afg.graph import ApplicationFlowGraph
 
 
@@ -48,7 +51,15 @@ def priority_order(graph: ApplicationFlowGraph,
 
 class ReadySet:
     """The scheduler's ready set: entry nodes first, children as parents
-    complete, always yielding the highest-level ready node."""
+    complete, always yielding the highest-level ready node.
+
+    Internally a heap keyed ``(-level, nid)``: ``peek`` is O(1) and
+    ``pop`` is O(log ready) instead of the O(ready) min-scan the set
+    representation needed.  A node enters the heap exactly once (when
+    its last parent is scheduled) and leaves only via :meth:`pop`, so
+    the heap order reproduces ``min(ready, key=(-level, nid))`` exactly
+    — no lazy deletion required.
+    """
 
     def __init__(self, graph: ApplicationFlowGraph,
                  levels: dict[str, float]) -> None:
@@ -56,41 +67,56 @@ class ReadySet:
         self.levels = levels
         self._unscheduled_parents = {
             nid: len(graph.predecessors(nid)) for nid in graph.nodes}
-        self._ready = {nid for nid, n in self._unscheduled_parents.items()
-                       if n == 0}
-        self._done: set[str] = set()
+        self._heap = [(-levels[nid], nid)
+                      for nid, n in self._unscheduled_parents.items()
+                      if n == 0]
+        heapify(self._heap)
+        # insertion-ordered dict so ``scheduled`` can expose a live,
+        # read-only set view (dict keys) instead of copying per access
+        self._done: dict[str, None] = {}
 
     def __bool__(self) -> bool:
-        return bool(self._ready)
+        return bool(self._heap)
 
     def __len__(self) -> int:
-        return len(self._ready)
+        return len(self._heap)
 
     def peek(self) -> str:
         """Highest-priority ready node (deterministic tie-break)."""
-        if not self._ready:
+        if not self._heap:
             raise IndexError("ready set is empty")
-        return min(self._ready, key=lambda nid: (-self.levels[nid], nid))
+        return self._heap[0][1]
 
     def pop(self) -> str:
         """Remove and return the highest-priority ready node, releasing
         children whose parents are now all scheduled."""
-        nid = self.peek()
-        self._ready.remove(nid)
-        self._done.add(nid)
+        if not self._heap:
+            raise IndexError("ready set is empty")
+        nid = heappop(self._heap)[1]
+        self._done[nid] = None
+        unscheduled = self._unscheduled_parents
+        levels = self.levels
+        heap = self._heap
         for child in self.graph.successors(nid):
-            self._unscheduled_parents[child] -= 1
-            if self._unscheduled_parents[child] == 0:
-                self._ready.add(child)
+            unscheduled[child] -= 1
+            if unscheduled[child] == 0:
+                heappush(heap, (-levels[child], child))
         return nid
 
     @property
-    def scheduled(self) -> set[str]:
-        return set(self._done)
+    def scheduled(self) -> KeysView[str]:
+        """Nodes popped so far, in order — a live read-only set view.
+
+        Previously this copied ``_done`` into a fresh ``set`` on every
+        access, an O(scheduled) cost per poll in the scheduling walk.
+        The view supports the full set-comparison protocol (``==``,
+        ``in``, iteration) without the copy; callers must not mutate it.
+        """
+        return self._done.keys()
 
     def drain(self) -> list[str]:
         """Pop everything: the complete scheduling order."""
         order = []
-        while self._ready:
+        while self._heap:
             order.append(self.pop())
         return order

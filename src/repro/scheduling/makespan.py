@@ -44,16 +44,20 @@ def evaluate_schedule(
     table: ResourceAllocationTable,
     topology: Topology,
     duration_fn: DurationFn | None = None,
+    levels: dict[str, float] | None = None,
 ) -> Timeline:
     """Play out *table* on a timeline and return per-task times.
 
     ``duration_fn`` defaults to the allocation's predicted times.  Tasks
     sharing a host serialise in list-schedule (level-priority) order;
-    parallel tasks occupy all of their hosts for their duration.
+    parallel tasks occupy all of their hosts for their duration.  Pass
+    *levels* (e.g. ``ScheduleReport.levels``) to reuse the scheduler's
+    priority listing instead of recomputing it.
     """
     if duration_fn is None:
         duration_fn = lambda nid: table.get(nid).predicted_time_s  # noqa: E731
-    levels = compute_levels(graph)
+    if levels is None:
+        levels = compute_levels(graph)
     host_free: dict[str, float] = {}
     timeline = Timeline()
     ready = ReadySet(graph, levels)

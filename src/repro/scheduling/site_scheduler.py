@@ -83,18 +83,22 @@ class SiteScheduler:
         self,
         graph: ApplicationFlowGraph,
         selection_results: dict[str, HostSelectionResult],
+        levels: dict[str, float] | None = None,
     ) -> tuple[ResourceAllocationTable, ScheduleReport]:
         """Assign every task to a site/host given per-site selections.
 
         *selection_results* maps site name to that site's Host Selection
-        output; it must include the local site.
+        output; it must include the local site.  Pass *levels* when the
+        priority listing is already in hand (e.g. computed for an earlier
+        round over the same graph) to skip recomputing it.
         """
         if self.local_site not in selection_results:
             raise SchedulingError(
                 f"selection results missing the local site "
                 f"{self.local_site!r}")
         graph.validate()
-        levels = compute_levels(graph)
+        if levels is None:
+            levels = compute_levels(graph)
         table = ResourceAllocationTable(application=graph.name)
         report = ScheduleReport(
             application=graph.name, local_site=self.local_site,
@@ -208,6 +212,7 @@ class SiteScheduler:
         self,
         graph: ApplicationFlowGraph,
         selectors: dict[str, HostSelector],
+        levels: dict[str, float] | None = None,
     ) -> tuple[ResourceAllocationTable, ScheduleReport]:
         """Steps 2-7 without the messaging layer (used by tests/benches).
 
@@ -220,4 +225,4 @@ class SiteScheduler:
         consulted = [self.local_site] + [
             s for s in self.select_remote_sites() if s in selectors]
         results = {site: selectors[site].select(graph) for site in consulted}
-        return self.schedule(graph, results)
+        return self.schedule(graph, results, levels=levels)

@@ -10,12 +10,33 @@ so the reproduction has no external runtime dependencies.
 Determinism: events scheduled for the same simulated time are executed in
 schedule order (a monotone sequence number breaks ties), so a fixed seed
 yields an identical trace on every run.
+
+Every class here carries ``__slots__`` and the hot paths (timeout
+construction, process resume, the run loop) avoid property dispatch and
+intermediate allocations; see docs/performance.md for the measured
+effect.  Queue entries are ``(time, priority, seq, item)`` tuples and the
+unique ``seq`` guarantees the item itself is never compared, so the queue
+can hold both events and the lighter :class:`_Resume` records.
+
+The ``callbacks`` attribute is polymorphic to keep the dominant
+"one process waits on one event" pattern allocation-free:
+
+* ``_NO_WAITERS`` — fresh event, nothing attached (no list built yet);
+* a bound ``Process._resume`` method — exactly one process waits
+  (stored directly, no list, no append, and the run loop dispatches it
+  with a bare call);
+* a ``list`` — the general case (multiple waiters / plain callbacks);
+* ``None`` — the event has been processed.
+
+All transitions go through :func:`_attach` or the run loop; nothing
+outside this module touches ``callbacks``.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Callable, Generator
+from heapq import heappop, heappush
+from itertools import count
 from typing import Any
 
 from repro.util.errors import SimulationError
@@ -26,6 +47,34 @@ URGENT = 0
 NORMAL = 1
 
 
+class _NoWaiters:
+    """Singleton marking an event nobody has attached to yet.
+
+    Distinct from ``None`` (which means *processed*) and from an empty
+    list (which would cost an allocation per event).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<no waiters>"
+
+
+_NO_WAITERS = _NoWaiters()
+
+
+def _attach(event: "Event", callback: Callable[["Event"], None]) -> None:
+    """Attach *callback* to a not-yet-processed event, upgrading the
+    ``callbacks`` representation as needed (see module docstring)."""
+    cbs = event.callbacks
+    if type(cbs) is list:
+        cbs.append(callback)
+    elif cbs is _NO_WAITERS:
+        event.callbacks = [callback]
+    else:  # a single waiter's bound resume: expand to the general form
+        event.callbacks = [cbs, callback]
+
+
 class Event:
     """A happening at a point in simulated time.
 
@@ -34,9 +83,11 @@ class Event:
     Processes wait on events by yielding them.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_ok")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: list[Callable[[Event], None]] | None = []
+        self.callbacks: Any = _NO_WAITERS
         self._value: Any = None
         self._exception: BaseException | None = None
         self._ok: bool | None = None
@@ -71,42 +122,60 @@ class Event:
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with *value* (now)."""
-        if self.triggered:
+        if self._ok is not None:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.env._enqueue(self, delay=0.0, priority=NORMAL)
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with *exception* (now)."""
-        if self.triggered:
+        if self._ok is not None:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._exception = exception
-        self.env._enqueue(self, delay=0.0, priority=NORMAL)
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
         return self
 
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
-        if callbacks:
+        if type(callbacks) is list:
             for cb in callbacks:
                 cb(self)
+        elif callbacks is not _NO_WAITERS and callbacks is not None:
+            callbacks(self)  # a single waiter's bound resume
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Prefer :meth:`Environment.timeout`, which builds the same object
+    through a fast path that skips this constructor.  The delay is not
+    retained on the instance — the heap entry carries the absolute fire
+    time, and storing it would cost the hottest allocation site a write
+    nothing ever reads back.
+    """
+
+    __slots__ = ()
+
+    #: Class-level state shadowing the parent's slots: a timeout is born
+    #: triggered and can never fail, so no instance ever stores either
+    #: field (``succeed``/``fail`` reject re-triggering before writing).
+    _ok = True
+    _exception = None
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = _NO_WAITERS
         self._value = value
-        env._enqueue(self, delay=delay, priority=NORMAL)
+        heappush(env._queue, (env._now + delay, NORMAL, next(env._seq), self))
 
 
 class Interrupt(Exception):
@@ -121,6 +190,45 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class _Resume:
+    """Queue entry resuming a process from an already-processed event.
+
+    Replaces the relay-``Event`` allocation the kernel used to make for
+    this case: it carries no callback list and no state of its own, just
+    the process to resume and the (processed) event whose outcome to
+    deliver.  ``process`` is set to ``None`` to cancel the pending resume
+    (the interrupt path), mirroring callback removal on a real event.
+    """
+
+    __slots__ = ("process", "event")
+
+    #: class-level marker: lets the run loop tell a resume record from an
+    #: event (whose ``callbacks`` is a list while queued) without a type
+    #: check, and reads as "already processed" everywhere else.
+    callbacks = None
+
+    def __init__(self, process: "Process", event: "Event") -> None:
+        self.process = process
+        self.event = event
+
+    def _run_callbacks(self) -> None:
+        process = self.process
+        if process is not None:
+            process._resume(self.event)
+
+
+class _InitEvent:
+    """The shared bootstrap outcome delivered to every new process."""
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+    _exception = None
+
+
+_INIT = _InitEvent()
+
+
 class Process(Event):
     """A generator-based simulated process.
 
@@ -130,6 +238,8 @@ class Process(Event):
     when the generator returns, so processes can wait on one another.
     """
 
+    __slots__ = ("gen", "name", "_target", "_send", "_throw", "_resume_cb")
+
     def __init__(self, env: "Environment", gen: Generator[Event, Any, Any],
                  name: str | None = None) -> None:
         if not isinstance(gen, Generator):
@@ -138,12 +248,16 @@ class Process(Event):
         super().__init__(env)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
-        self._target: Event | None = None
+        self._target: Event | _Resume | None = None
+        # Per-resume allocations cached once: the generator's send/throw
+        # and this process's own resume callback (a fresh bound method
+        # per yield would be the kernel's largest remaining allocation).
+        self._send = gen.send
+        self._throw = gen.throw
+        self._resume_cb = self._resume
         # Bootstrap: resume the generator as soon as the env runs.
-        boot = Event(env)
-        boot._ok = True
-        boot.callbacks.append(self._resume)
-        env._enqueue(boot, delay=0.0, priority=URGENT)
+        heappush(env._queue, (env._now, URGENT, next(env._seq),
+                              _Resume(self, _INIT)))
 
     @property
     def is_alive(self) -> bool:
@@ -151,66 +265,96 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if not self.is_alive:
+        if self._ok is not None:
             raise SimulationError(f"cannot interrupt finished process {self.name}")
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        target = self._target
+        if target is not None:
+            if type(target) is _Resume:
+                target.process = None
+            else:
+                cbs = target.callbacks
+                if cbs is self._resume_cb:
+                    target.callbacks = _NO_WAITERS
+                elif type(cbs) is list:
+                    try:
+                        cbs.remove(self._resume_cb)
+                    except ValueError:
+                        pass
         self._target = None
-        hit = Event(self.env)
+        env = self.env
+        hit = Event(env)
         hit._ok = False
         hit._exception = Interrupt(cause)
-        hit.callbacks.append(self._resume)
-        self.env._enqueue(hit, delay=0.0, priority=URGENT)
+        hit.callbacks = self._resume_cb
+        heappush(env._queue, (env._now, URGENT, next(env._seq), hit))
 
-    def _resume(self, event: Event) -> None:
+    def _resume(self, event: Event, _mark=_NO_WAITERS) -> None:
+        # ``env._active_process`` is set here and cleared lazily when the
+        # run loop exits (run()/step()): between callbacks nothing
+        # executes that could observe it, and skipping the per-resume
+        # clear saves a store on the kernel's hottest path.
         self.env._active_process = self
         try:
             if event._ok:
-                target = self.gen.send(event._value)
+                target = self._send(event._value)
             else:
-                target = self.gen.throw(event._exception)
+                target = self._throw(event._exception)
         except StopIteration as stop:
             self._ok = True
             self._value = stop.value
-            self.env._enqueue(self, delay=0.0, priority=NORMAL)
+            self._finalize()
             return
         except Interrupt:
             # Uncaught interrupt terminates the process "successfully
             # cancelled": the interruptor asked for termination.
             self._ok = True
             self._value = None
-            self.env._enqueue(self, delay=0.0, priority=NORMAL)
+            self._finalize()
             return
         except Exception as exc:
             self._ok = False
             self._exception = exc
             # Record the crash so silent daemon deaths are diagnosable:
             # a failed process with no waiter would otherwise vanish.
-            self.env.failed_processes.append((self.env.now, self.name, exc))
-            self.env._enqueue(self, delay=0.0, priority=NORMAL)
+            env = self.env
+            env.failed_processes.append((env._now, self.name, exc))
+            self._finalize()
             return
-        finally:
-            self.env._active_process = None
 
-        if not isinstance(target, Event):
+        try:
+            callbacks = target.callbacks
+        except AttributeError:
             raise SimulationError(
                 f"process {self.name!r} yielded {type(target).__name__}, "
-                "expected an Event")
-        if target.callbacks is None:
-            # Already processed: resume immediately (next tick, urgent).
-            relay = Event(self.env)
-            relay._ok = target._ok
-            relay._value = target._value
-            relay._exception = target._exception
-            relay.callbacks.append(self._resume)
-            self.env._enqueue(relay, delay=0.0, priority=URGENT)
-            self._target = relay
-        else:
-            target.callbacks.append(self._resume)
+                "expected an Event") from None
+        if callbacks is _mark:
+            # Sole waiter — the dominant pattern: store the cached bound
+            # resume directly, no list, no append.
+            target.callbacks = self._resume_cb
             self._target = target
+        elif callbacks is None:
+            # Already processed: resume directly (next tick, urgent)
+            # through the queue — no relay Event allocation.
+            resume = _Resume(self, target)
+            env = self.env
+            heappush(env._queue, (env._now, URGENT, next(env._seq),
+                                  resume))
+            self._target = resume
+        elif type(callbacks) is list:
+            callbacks.append(self._resume_cb)
+            self._target = target
+        else:  # one process already waits: expand to the general form
+            target.callbacks = [callbacks, self._resume_cb]
+            self._target = target
+
+    def _finalize(self) -> None:
+        """Schedule the terminated process's own event and drop the cached
+        bound methods (``_resume_cb`` forms a reference cycle with the
+        process; clearing it restores prompt refcount collection)."""
+        env = self.env
+        self._target = None
+        self._send = self._throw = self._resume_cb = None  # type: ignore[assignment]
+        heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
 
 
 class AllOf(Event):
@@ -219,6 +363,8 @@ class AllOf(Event):
     Value is the list of child values in the order given.  Fails with the
     first child failure.
     """
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, env: "Environment", events: list[Event]) -> None:
         super().__init__(env)
@@ -231,10 +377,10 @@ class AllOf(Event):
             if ev.callbacks is None:
                 self._on_child(ev)
             else:
-                ev.callbacks.append(self._on_child)
+                _attach(ev, self._on_child)
 
     def _on_child(self, ev: Event) -> None:
-        if self.triggered:
+        if self._ok is not None:
             return
         if not ev._ok:
             self.fail(ev._exception or SimulationError("child event failed"))
@@ -247,6 +393,8 @@ class AllOf(Event):
 class AnyOf(Event):
     """Triggers when the first child event triggers; value is ``(index, value)``."""
 
+    __slots__ = ("_events",)
+
     def __init__(self, env: "Environment", events: list[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
@@ -257,11 +405,11 @@ class AnyOf(Event):
             if ev.callbacks is None:
                 cb(ev)
             else:
-                ev.callbacks.append(cb)
+                _attach(ev, cb)
 
     def _make_cb(self, index: int):
         def _cb(ev: Event) -> None:
-            if self.triggered:
+            if self._ok is not None:
                 return
             if ev._ok:
                 self.succeed((index, ev._value))
@@ -270,13 +418,47 @@ class AnyOf(Event):
         return _cb
 
 
+def _compile_timeout():
+    """Build :meth:`Environment.timeout` with its hot globals bound as
+    closure cells (``LOAD_DEREF`` beats ``LOAD_GLOBAL`` on the kernel's
+    single hottest allocation site)."""
+    _cls = Timeout
+    _new = Timeout.__new__
+    _push = heappush
+    _mark = _NO_WAITERS
+    _next = next
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing after *delay* simulated seconds.
+
+        This is the kernel's hottest allocation site (every simulated
+        wait passes through it), so the object is built directly instead
+        of through ``Timeout.__init__``'s chained constructors (``_ok``
+        and ``_exception`` are class-level on :class:`Timeout`).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        ev = _new(_cls)
+        ev.env = self
+        ev.callbacks = _mark
+        ev._value = value
+        # 1 == NORMAL priority
+        _push(self._queue, (self._now + delay, 1, _next(self._seq), ev))
+        return ev
+
+    return timeout
+
+
 class Environment:
     """The simulation environment: clock + event queue + process factory."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process",
+                 "failed_processes")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
-        self._seq = 0
+        self._queue: list[tuple[float, int, int, Event | _Resume]] = []
+        self._seq = count(1)
         self._active_process: Process | None = None
         #: (time, process name, exception) for every process that died on
         #: an unhandled exception — inspect after a run to catch silent
@@ -297,9 +479,7 @@ class Environment:
         """A fresh untriggered event (trigger with succeed/fail)."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing after *delay* simulated seconds."""
-        return Timeout(self, delay, value)
+    timeout = _compile_timeout()
 
     def process(self, gen: Generator[Event, Any, Any],
                 name: str | None = None) -> Process:
@@ -316,8 +496,8 @@ class Environment:
 
     # -- scheduling -------------------------------------------------------
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        heappush(self._queue,
+                 (self._now + delay, priority, next(self._seq), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when none remain."""
@@ -327,34 +507,112 @@ class Environment:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = heappop(self._queue)
         if when < self._now:
             raise SimulationError("event queue time went backwards")
         self._now = when
         event._run_callbacks()
+        self._active_process = None
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains, *until* time passes, or event fires.
 
         Returns the event's value when *until* is an :class:`Event`.
+
+        The loop dispatches queue entries inline rather than through
+        :meth:`Event._run_callbacks` (events in the queue always hold a
+        live callback list; a ``None`` marks the lighter resume records),
+        so per-event cost is one pop, one time store, and the callbacks
+        themselves.
         """
+        queue = self._queue
+        pop = heappop
+        mark = _NO_WAITERS
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._queue:
+            while stop.callbacks is not None:  # i.e. not yet processed
+                if not queue:
                     raise SimulationError(
                         "simulation ran out of events before the awaited "
                         "event triggered (deadlock?)")
-                self.step()
+                entry = pop(queue)
+                item = entry[3]
+                self._now = entry[0]
+                cbs = item.callbacks
+                if cbs is None:
+                    item._run_callbacks()
+                else:
+                    item.callbacks = None
+                    try:
+                        cbs(item)  # sole waiter's bound resume (dominant)
+                    except TypeError:
+                        if type(cbs) is list:
+                            for cb in cbs:
+                                cb(item)
+                        elif cbs is mark:
+                            pass  # fired with nobody attached
+                        else:
+                            raise
+            self._active_process = None
             if stop._ok:
                 return stop._value
             raise stop._exception  # type: ignore[misc]
-        horizon = float("inf") if until is None else float(until)
-        if horizon != float("inf") and horizon < self._now:
+        if until is None:
+            # Drain: no horizon comparison, and the empty queue surfaces
+            # as IndexError from the pop instead of a per-event check.
+            try:
+                while True:
+                    entry = pop(queue)
+                    item = entry[3]
+                    self._now = entry[0]
+                    cbs = item.callbacks
+                    if cbs is None:
+                        item._run_callbacks()
+                    else:
+                        item.callbacks = None
+                        try:
+                            cbs(item)  # sole waiter's bound resume
+                        except TypeError:
+                            if type(cbs) is list:
+                                for cb in cbs:
+                                    cb(item)
+                            elif cbs is mark:
+                                pass  # fired with nobody attached
+                            else:
+                                raise
+            except IndexError:
+                if queue:  # a real IndexError from user code, not ours
+                    raise
+            self._active_process = None
+            return None
+        horizon = float(until)
+        if horizon < self._now:
             raise SimulationError(f"run(until={horizon}) is in the past "
                                   f"(now={self._now})")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        while queue:
+            entry = pop(queue)
+            when = entry[0]
+            if when > horizon:
+                heappush(queue, entry)
+                break
+            item = entry[3]
+            self._now = when
+            cbs = item.callbacks
+            if cbs is None:
+                item._run_callbacks()
+            else:
+                item.callbacks = None
+                try:
+                    cbs(item)  # sole waiter's bound resume (dominant)
+                except TypeError:
+                    if type(cbs) is list:
+                        for cb in cbs:
+                            cb(item)
+                    elif cbs is mark:
+                        pass  # fired with nobody attached
+                    else:
+                        raise
+        self._active_process = None
         if horizon != float("inf"):
             self._now = horizon
         return None

@@ -283,6 +283,149 @@ class TestEventSemantics:
         assert env.peek() == pytest.approx(0.0) or env.peek() <= 4.0
 
 
+class TestFastPathEdgeCases:
+    """Orderings the kernel fast paths must preserve exactly.
+
+    These pin the engine's trace ordering for the cases the optimized
+    resume path (no relay-event allocation) and the timeout fast path
+    touch: resuming from already-processed events, interrupting such a
+    pending resume, and same-tick URGENT/NORMAL interleaving.
+    """
+
+    def test_resume_from_processed_event_before_same_tick_timeout(self):
+        # A process waking from an already-processed event resumes
+        # URGENT, i.e. before any NORMAL event of the same tick.
+        env = Environment()
+        ev = env.event()
+        ev.succeed("x")
+        env.run()  # ev is now processed (callbacks ran)
+        order = []
+
+        def waiter(env):
+            v = yield ev
+            order.append(("waiter", v))
+
+        def ticker(env):
+            yield env.timeout(0.0)
+            order.append(("ticker", env.now))
+
+        env.process(waiter(env))
+        env.process(ticker(env))
+        env.run()
+        assert order == [("waiter", "x"), ("ticker", 0.0)]
+
+    def test_resume_from_processed_failed_event_throws(self):
+        env = Environment()
+        bad = env.event()
+        bad.fail(RuntimeError("late"))
+        env.run()  # bad is processed; nobody was waiting
+
+        def waiter(env):
+            try:
+                yield bad
+            except RuntimeError as e:
+                return f"caught {e}"
+            yield env.timeout(1.0)  # pragma: no cover
+
+        p = env.process(waiter(env))
+        assert env.run(until=p) == "caught late"
+
+    def test_interrupt_cancels_pending_resume_from_processed_event(self):
+        # victim yields an already-processed event (resume is pending,
+        # same tick, URGENT); the attacker's interrupt lands before that
+        # resume fires and must win — the victim sees only the Interrupt.
+        env = Environment()
+        ev = env.event()
+        ev.succeed("payload")
+        env.run()
+        log = []
+
+        def victim(env):
+            try:
+                got = yield ev
+                log.append(("resumed", got))
+            except Interrupt as i:
+                log.append(("interrupted", i.cause))
+
+        v = env.process(victim(env))
+
+        def attacker(env):
+            v.interrupt("too-late")
+            return
+            yield  # pragma: no cover
+
+        env.process(attacker(env))
+        env.run()
+        assert log == [("interrupted", "too-late")]
+
+    def test_any_of_first_child_already_failed_processed(self):
+        env = Environment()
+        bad = env.event()
+        bad.fail(ValueError("dead"))
+        env.run()  # bad processed before the AnyOf is built
+
+        def proc(env):
+            slow = env.timeout(5.0, value="slow")
+            try:
+                yield env.any_of([bad, slow])
+            except ValueError as e:
+                return ("caught", str(e), env.now)
+            return "unreachable"  # pragma: no cover
+
+        p = env.process(proc(env))
+        # the failure propagates at the current tick, not at t=5
+        assert env.run(until=p) == ("caught", "dead", 0.0)
+
+    def test_timeout_zero_orders_by_schedule_seq_against_succeed(self):
+        # Both a Timeout(0) and a manual succeed() are NORMAL events at
+        # the same tick: whichever was scheduled first fires first.
+        env = Environment()
+        order = []
+        flag = env.event()
+
+        def a(env):
+            yield env.timeout(0.0)
+            order.append("t0")
+
+        def b(env):
+            yield flag
+            order.append("flag")
+
+        def c(env):
+            flag.succeed()
+            return
+            yield  # pragma: no cover
+
+        env.process(a(env))
+        env.process(b(env))
+        env.process(c(env))
+        env.run()
+        # a's Timeout(0) is enqueued during a's bootstrap, before c's
+        # bootstrap calls succeed() — so the timeout fires first.
+        assert order == ["t0", "flag"]
+
+    def test_succeed_before_run_orders_ahead_of_timeout_zero(self):
+        # Mirror case: succeed() called before the processes boot, so the
+        # flag's NORMAL event precedes the Timeout(0) in schedule order.
+        env = Environment()
+        order = []
+        flag = env.event()
+
+        def a(env):
+            yield env.timeout(0.0)
+            order.append("t0")
+
+        def b(env):
+            yield flag
+            order.append("flag")
+
+        env.process(a(env))
+        env.process(b(env))
+        flag.succeed()
+        env.run()
+        assert order == ["flag", "t0"]
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
         def build():

@@ -1,0 +1,288 @@
+#!/usr/bin/env python
+"""Wall-clock performance report for the reproduction's hot paths.
+
+Runs the substrate micro-benchmarks (event kernel, store handoff,
+prediction sweep, scheduler walk) plus two end-to-end workloads (the
+linear solver and a layered random graph) and writes ``BENCH_perf.json``
+with ops/s, wall seconds, and an environment fingerprint.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_report.py                 # refresh BENCH_perf.json
+    PYTHONPATH=src python tools/perf_report.py --check BENCH_perf.json
+    PYTHONPATH=src python tools/perf_report.py --quick -o /tmp/p.json
+
+``--check`` compares the fresh run against a committed baseline and
+exits non-zero when any benchmark's throughput regressed by more than
+``--tolerance`` (default 30%).  Throughput *improvements* never fail the
+check; refresh the baseline (``--output BENCH_perf.json``) when they are
+real so the gate tightens over time.
+
+See docs/performance.md for how these numbers relate to the kernel and
+scheduler fast paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.prediction import PerformancePredictor, register_tasks  # noqa: E402
+from repro.repository import ResourcePerformanceDB, TaskPerformanceDB  # noqa: E402
+from repro.resources import HostSpec  # noqa: E402
+from repro.scheduling import HostSelector, SiteScheduler  # noqa: E402
+from repro.simcore import Environment, Store  # noqa: E402
+from repro.tasklib import standard_registry  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    linear_solver_graph,
+    nynet_testbed,
+    quiet_testbed,
+    random_layered_graph,
+)
+
+#: Default regression tolerance: fail when throughput drops below
+#: ``baseline * (1 - TOLERANCE)``.  Generous because CI hardware is
+#: noisy; real regressions from the hot paths are far larger.
+TOLERANCE = 0.30
+
+
+# ---------------------------------------------------------------------------
+# benchmark bodies: each returns the number of "operations" performed
+# ---------------------------------------------------------------------------
+
+def bench_engine_ping_pong(scale: int) -> int:
+    """The DES kernel inner loop: timeout-yielding processes."""
+    env = Environment()
+    n = 200 * scale
+
+    def ponger(env, n):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    for _ in range(10):
+        env.process(ponger(env, n))
+    env.run()
+    assert env.now == float(n)
+    return 10 * n  # timeouts processed
+
+
+def bench_engine_store_handoff(scale: int) -> int:
+    """Producer/consumer mailbox traffic (daemon message pattern)."""
+    env = Environment()
+    store = Store(env)
+    n = 500 * scale
+    received = []
+
+    def producer(env):
+        for i in range(n):
+            store.put(i)
+            yield env.timeout(0.001)
+
+    def consumer(env):
+        for _ in range(n):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert len(received) == n
+    return n
+
+
+def _prediction_fixture():
+    registry = standard_registry()
+    tp = TaskPerformanceDB()
+    register_tasks(tp, registry.all_tasks())
+    rp = ResourcePerformanceDB()
+    for i in range(16):
+        rp.register_host("s1", HostSpec(name=f"h{i}"))
+        rp.update_dynamic(f"s1/h{i}", cpu_load=0.3 * i,
+                          available_memory_mb=64, time=1.0)
+    return tp, rp.all_records(), registry.resolve("lu-decomposition")
+
+
+def bench_predict_sweep(scale: int) -> int:
+    """Cold Predict(task, R) sweeps: a fresh predictor per round, so the
+    memoization cache never helps — measures the evaluation itself."""
+    tp, records, definition = _prediction_fixture()
+    rounds = 50 * scale
+    for _ in range(rounds):
+        predictor = PerformancePredictor(tp)
+        best = predictor.best_host(definition, 200, records)
+    assert best.host == "s1/h0"
+    return rounds * len(records)
+
+
+def bench_scheduler_walk(scale: int) -> int:
+    """Figure 4 + Figure 5: host selection at every site plus the site
+    scheduler's ready-set walk, repeated with one predictor (warm)."""
+    vdce = nynet_testbed(seed=1, hosts_per_site=4, with_loads=True,
+                         trace=False)
+    vdce.start()
+    vdce.warm_up(40.0)
+    graph = linear_solver_graph(vdce.registry, n=200)
+    selectors = {site: HostSelector(repo)
+                 for site, repo in vdce.repositories.items()}
+    rounds = 10 * scale
+    for _ in range(rounds):
+        scheduler = SiteScheduler("syracuse", vdce.topology, k_remote_sites=1)
+        table, _report = scheduler.schedule_with_selectors(graph, selectors)
+    assert len(table) == len(graph)
+    return rounds * len(graph)  # tasks placed
+
+
+def bench_e2e_linear_solver(scale: int) -> int:
+    """End-to-end: submit, schedule, execute a linear solver app."""
+    ops = 0
+    for seed in range(scale):
+        vdce = quiet_testbed(seed=63 + seed, trace=False)
+        vdce.start()
+        graph = linear_solver_graph(vdce.registry, n=40)
+        run = vdce.run_application(graph, "syracuse", max_sim_time_s=600)
+        assert run.status == "completed"
+        ops += len(run.completions)
+    return ops
+
+
+def bench_e2e_layered_graph(scale: int) -> int:
+    """End-to-end: a wide layered random DAG through the full pipeline."""
+    ops = 0
+    for seed in range(scale):
+        vdce = quiet_testbed(seed=7 + seed, trace=False)
+        vdce.start()
+        graph = random_layered_graph(vdce.registry, layers=5, width=4,
+                                     seed=3 + seed)
+        run = vdce.run_application(graph, "syracuse", max_sim_time_s=600)
+        assert run.status == "completed"
+        ops += len(run.completions)
+    return ops
+
+
+#: name -> (callable, scale, repeats).  Wall time is the best (minimum)
+#: of the repeats, so scheduler warm-up and allocator noise do not count.
+BENCHMARKS = {
+    "engine_ping_pong": (bench_engine_ping_pong, 100, 5),
+    "engine_store_handoff": (bench_engine_store_handoff, 100, 5),
+    "predict_sweep": (bench_predict_sweep, 30, 5),
+    "scheduler_walk": (bench_scheduler_walk, 3, 3),
+    "e2e_linear_solver": (bench_e2e_linear_solver, 10, 3),
+    "e2e_layered_graph": (bench_e2e_layered_graph, 10, 3),
+}
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10)
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def env_fingerprint() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_rev": _git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    results = {}
+    for name, (fn, scale, repeats) in BENCHMARKS.items():
+        if quick:
+            scale = max(1, scale // 2)
+            repeats = min(repeats, 2)
+        best = float("inf")
+        ops = 0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            ops = fn(scale)
+            best = min(best, time.perf_counter() - t0)
+        results[name] = {
+            "ops": ops,
+            "wall_s": round(best, 6),
+            "ops_per_s": round(ops / best, 2),
+            "repeats": repeats,
+        }
+        print(f"  {name:24s} {results[name]['ops_per_s']:>12,.0f} ops/s  "
+              f"({ops} ops in {best:.3f}s best-of-{repeats})")
+    return results
+
+
+def check_regressions(fresh: dict, baseline_path: Path,
+                      tolerance: float) -> list[str]:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, base in baseline.get("benchmarks", {}).items():
+        cur = fresh.get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline but not run")
+            continue
+        floor = base["ops_per_s"] * (1.0 - tolerance)
+        if cur["ops_per_s"] < floor:
+            failures.append(
+                f"{name}: {cur['ops_per_s']:,.0f} ops/s < floor "
+                f"{floor:,.0f} (baseline {base['ops_per_s']:,.0f}, "
+                f"tolerance {tolerance:.0%})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", "-o", type=Path,
+                        default=REPO_ROOT / "BENCH_perf.json",
+                        help="where to write the report JSON")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="compare against a baseline report; exit 1 on "
+                             ">tolerance throughput regression")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        help="allowed fractional throughput drop (default "
+                             f"{TOLERANCE})")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller scales / fewer repeats (smoke mode)")
+    args = parser.parse_args(argv)
+
+    print(f"perf_report: {len(BENCHMARKS)} benchmarks "
+          f"({'quick' if args.quick else 'full'} mode)")
+    benchmarks = run_benchmarks(quick=args.quick)
+    report = {"schema": 1, "env": env_fingerprint(), "benchmarks": benchmarks}
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check is not None:
+        if not args.check.exists():
+            print(f"no baseline at {args.check}; nothing to compare")
+            return 0
+        failures = check_regressions(benchmarks, args.check, args.tolerance)
+        if failures:
+            print("PERF REGRESSION:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(f"no regression vs {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
