@@ -53,7 +53,7 @@ class GraphBuilder:
                     f"node {src!r} has outputs {outs}; src_port required")
             src_port = outs[0]
         if dst_port is None:
-            fed = {l.dst_port for l in self.graph.in_links(dst)}
+            fed = {link.dst_port for link in self.graph.in_links(dst)}
             free = [p for p in dst_node.input_ports if p not in fed]
             if not free:
                 raise PortError(f"node {dst!r} has no unfilled input ports")

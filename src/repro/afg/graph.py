@@ -271,9 +271,9 @@ class ApplicationFlowGraph:
                 for n in self.nodes.values()
             ],
             "links": [
-                {"src": l.src, "src_port": l.src_port,
-                 "dst": l.dst, "dst_port": l.dst_port}
-                for l in self.links
+                {"src": link.src, "src_port": link.src_port,
+                 "dst": link.dst, "dst_port": link.dst_port}
+                for link in self.links
             ],
         }
 

@@ -82,6 +82,9 @@ class TrafficStats:
 class Network:
     """Latency/bandwidth-modelled message delivery between endpoints."""
 
+    __slots__ = ("env", "topology", "tracer", "per_message_overhead_s",
+                 "stats", "_mailboxes", "is_up", "fault_hook")
+
     def __init__(self, env: Environment, topology: Topology,
                  tracer: Tracer | None = None,
                  per_message_overhead_s: float = 1e-4) -> None:

@@ -33,6 +33,10 @@ from repro.util.errors import NoFeasibleHostError
 #: Paging penalty slope, matching Host.slowdown's ground truth.
 MEMORY_PENALTY_SLOPE = 4.0
 
+#: (task name, input size, processors, host address, record version,
+#: task-performance version) — the full invalidation surface of one entry.
+CacheKey = tuple[str, float, int, str, int, int]
+
 #: Memoization cap: the cache is cleared wholesale when it grows past
 #: this, bounding memory during long runs with churning record versions.
 CACHE_MAX_ENTRIES = 4096
@@ -75,7 +79,7 @@ class PerformancePredictor:
         self.use_weight = use_weight
         self.use_load = use_load
         self.use_memory = use_memory
-        self._cache: dict[tuple, Prediction] = {}
+        self._cache: dict[CacheKey, Prediction] = {}
 
     def invalidate(self) -> None:
         """Drop every memoized evaluation (out-of-band record changes)."""
@@ -112,7 +116,7 @@ class PerformancePredictor:
 
     # -- the prediction function ------------------------------------------
     def _cache_key(self, definition: TaskDefinition, input_size: float,
-                   record: ResourceRecord, processors: int) -> tuple:
+                   record: ResourceRecord, processors: int) -> CacheKey:
         return (definition.name, input_size, processors, record.address,
                 record.version, self.task_performance.version)
 
@@ -173,7 +177,7 @@ class PerformancePredictor:
         the full evaluation for every up host (the pre-streaming
         behaviour, for callers that want to inspect the losers).
         """
-        best_rec = None
+        best_rec: ResourceRecord | None = None
         best_est = float("inf")
         for rec in records:
             if rec.status != "up":

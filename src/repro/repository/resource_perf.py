@@ -14,10 +14,12 @@ That staleness is a first-class quantity in experiment F6.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from repro.repository.store import Table
 from repro.resources.host import HostSpec
 from repro.util.errors import NotRegisteredError
+from repro.util.versioned import versioned
 
 #: Window length for "a window of most recent workload measurements"
 #: (paper section 2.2.1) retained per host for forecasting.
@@ -54,6 +56,7 @@ class ResourceRecord:
         return f"{self.site}/{self.host_name}"
 
 
+@versioned("_version_clock")
 class ResourcePerformanceDB:
     """Repository table of :class:`ResourceRecord` keyed by host address."""
 
@@ -144,13 +147,13 @@ class ResourcePerformanceDB:
         return list(self._records.values())
 
     # -- persistence ---------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         for addr, rec in self._records.items():
             self._table.put(addr, asdict(rec))
         self._table.save(path)
 
     @classmethod
-    def load(cls, path) -> "ResourcePerformanceDB":
+    def load(cls, path: str | Path) -> "ResourcePerformanceDB":
         db = cls()
         db._table = Table.load(path)
         for _key, row in db._table.items():

@@ -13,6 +13,8 @@ of its predicted performance.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.repository.store import Table, composite_key
 from repro.util.errors import NotRegisteredError
 
@@ -37,7 +39,7 @@ class TaskConstraintsDB:
     def executable_path(self, task_name: str, host: str) -> str:
         """Absolute path of a task's executable on one host."""
         try:
-            return self._table.get(composite_key(task_name, host))
+            return str(self._table.get(composite_key(task_name, host)))
         except NotRegisteredError:
             raise NotRegisteredError(
                 f"task {task_name!r} has no executable on host {host!r}"
@@ -57,11 +59,11 @@ class TaskConstraintsDB:
                 if host in hosts}
 
     # -- persistence -----------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         self._table.save(path)
 
     @classmethod
-    def load(cls, path) -> "TaskConstraintsDB":
+    def load(cls, path: str | Path) -> "TaskConstraintsDB":
         db = cls()
         db._table = Table.load(path)
         for key in db._table.keys():

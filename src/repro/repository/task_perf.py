@@ -23,9 +23,11 @@ It also stores the two measured quantities the prediction function needs
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from pathlib import Path
 
 from repro.repository.store import Table, composite_key
 from repro.util.errors import NotRegisteredError, RepositoryError
+from repro.util.versioned import versioned
 
 
 @dataclass
@@ -54,6 +56,7 @@ class ExecutionSample:
     observed_weight: float | None = None
 
 
+@versioned("_version")
 class TaskPerformanceDB:
     """Task records, per-(task, host) weights, and execution history."""
 
@@ -90,6 +93,7 @@ class TaskPerformanceDB:
             computation_size=computation_size,
             communication_size=communication_size, memory_mb=memory_mb)
         self._records[task_name] = rec
+        self._version += 1
         return rec
 
     def get(self, task_name: str) -> TaskPerformanceRecord:
@@ -174,7 +178,7 @@ class TaskPerformanceDB:
         return [s for s in samples if s.host == host]
 
     # -- persistence -------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         table = Table("task-performance")
         table.put("records", {k: asdict(v) for k, v in self._records.items()})
         table.put("weights", dict(self._weights))
@@ -183,7 +187,7 @@ class TaskPerformanceDB:
         table.save(path)
 
     @classmethod
-    def load(cls, path) -> "TaskPerformanceDB":
+    def load(cls, path: str | Path) -> "TaskPerformanceDB":
         table = Table.load(path)
         db = cls()
         for name, row in table.get("records").items():

@@ -11,6 +11,7 @@ from __future__ import annotations
 import hashlib
 import secrets
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.repository.store import Table
 from repro.util.errors import AuthenticationError, RepositoryError
@@ -100,11 +101,11 @@ class UserAccountsDB:
         return len(self._table)
 
     # persistence passthrough
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         self._table.save(path)
 
     @classmethod
-    def load(cls, path) -> "UserAccountsDB":
+    def load(cls, path: str | Path) -> "UserAccountsDB":
         db = cls()
         db._table = Table.load(path)
         ids = [row["user_id"] for _k, row in db._table.items()]

@@ -40,10 +40,10 @@ class _Handler(BaseHTTPRequestHandler):
     repository: SiteRepository  # installed by the server factory
 
     # -- plumbing -----------------------------------------------------------
-    def log_message(self, fmt, *args):  # silence stderr noise
-        pass
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # silence stderr noise
 
-    def _reply(self, status: int, payload) -> None:
+    def _reply(self, status: int, payload: object) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -121,7 +121,8 @@ class RepositoryWebServer:
 
     @property
     def address(self) -> tuple[str, int]:
-        return self._httpd.server_address  # type: ignore[return-value]
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
 
     @property
     def url(self) -> str:

@@ -258,11 +258,12 @@ class SiteManager:
         state = ExecutionState(
             execution_id=execution_id, application=table.application,
             expected_acks=set(table.hosts()),
+            # reprolint: disable=DET001 -- membership-only set, no order escapes
             controllers={f"{h}/appctl" for h in table.hosts()},
             finished=self.env.event(), total_tasks=len(table))
         self._executions[execution_id] = state
         by_site: dict[str, dict[str, list]] = {}
-        for host in table.hosts():
+        for host in sorted(table.hosts()):
             site = host.split("/")[0]
             portion = []
             for e in table.portion_for_host(host):

@@ -21,8 +21,9 @@ scheduler (predicted times via ``Predict``; no ground-truth peeking).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.afg.graph import ApplicationFlowGraph
+from repro.afg.graph import ApplicationFlowGraph, TaskNode
 from repro.net.topology import Topology
 from repro.prediction.predict import PerformancePredictor
 from repro.repository.site_repository import SiteRepository
@@ -60,16 +61,18 @@ class HeftScheduler:
 
     def __init__(self, repositories: dict[str, SiteRepository],
                  topology: Topology,
-                 predictor_factory=None) -> None:
+                 predictor_factory: Callable[
+                     [SiteRepository], PerformancePredictor] | None = None
+                 ) -> None:
         self.repositories = repositories
         self.topology = topology
         self._predictor_factory = predictor_factory or (
             lambda repo: PerformancePredictor(repo.task_performance))
 
     # -- candidate costs ------------------------------------------------------
-    def _candidates(self, node) -> list[tuple[str, str, float]]:
+    def _candidates(self, node: TaskNode) -> list[tuple[str, str, float]]:
         """(site, host, predicted_time) for every feasible host."""
-        out = []
+        out: list[tuple[str, str, float]] = []
         for site, repo in sorted(self.repositories.items()):
             predictor = self._predictor_factory(repo)
             for rec in repo.resource_performance.hosts_at(site):
@@ -125,7 +128,8 @@ class HeftScheduler:
         placed_site: dict[str, str] = {}
         for nid in order:
             node = graph.node(nid)
-            best = None  # (eft, est, site, host, duration)
+            # (eft, est, site, host, duration)
+            best: tuple[float, float, str, str, float] | None = None
             for site, host, duration in costs[nid]:
                 ready = 0.0
                 for parent in graph.predecessors(nid):

@@ -50,7 +50,7 @@ class HostSelectionResult:
     site: str
     choices: dict[str, HostChoice]       # node id -> choice
     infeasible: tuple[str, ...] = ()     # node ids this site cannot run
-    ranked: dict[str, tuple[HostChoice, ...]] = None  # type: ignore[assignment]
+    ranked: dict[str, tuple[HostChoice, ...]] | None = None
 
     def choice_for(self, node_id: str) -> HostChoice | None:
         """This site's best choice for one task (None if infeasible)."""
@@ -106,8 +106,8 @@ class HostSelector:
                 f"site {self.repository.site!r}: no feasible host for "
                 f"task {node.node_id!r} ({node.task_name})")
         props = node.properties
-        processors = (props.processors
-                      if props.computation_mode == "parallel" else 1)
+        processors: int = (props.processors
+                           if props.computation_mode == "parallel" else 1)
         if processors > 1:
             return (self._select_parallel(node, records, processors),)
         preds = sorted(
@@ -142,8 +142,9 @@ class HostSelector:
                               predicted_time_s=best.estimate_s)
         return self._select_parallel(node, records, processors)
 
-    def _select_parallel(self, node: TaskNode, records, processors: int
-                         ) -> HostChoice:
+    def _select_parallel(self, node: TaskNode,
+                         records: list[ResourceRecord],
+                         processors: int) -> HostChoice:
         # Parallel extension: pick the p best hosts within the site; the
         # parallel execution time is bounded by the slowest participant.
         if len(records) < processors:

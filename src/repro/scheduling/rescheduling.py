@@ -15,6 +15,7 @@ request.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.afg.graph import TaskNode
 from repro.prediction.predict import PerformancePredictor
@@ -43,7 +44,8 @@ class Rescheduler:
     """Pick a replacement host for one task, excluding bad hosts."""
 
     def __init__(self, repositories: dict[str, SiteRepository],
-                 predictor_factory=None,
+                 predictor_factory: Callable[
+                     [SiteRepository], PerformancePredictor] | None = None,
                  policy: ReschedulePolicy | None = None) -> None:
         self.repositories = repositories
         self.policy = policy or ReschedulePolicy()

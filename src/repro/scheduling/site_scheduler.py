@@ -30,6 +30,7 @@ from repro.afg.graph import ApplicationFlowGraph
 from repro.net.topology import Topology
 from repro.scheduling.allocation import AllocationEntry, ResourceAllocationTable
 from repro.scheduling.host_selection import (
+    HostChoice,
     HostSelectionResult,
     HostSelector,
 )
@@ -106,7 +107,8 @@ class SiteScheduler:
 
         ready = ReadySet(graph, levels)
         # earliest-finish-time state for the queue-aware extension
-        eft = {"host_free": {}, "finish": {}} if self.queue_aware else None
+        eft: dict[str, dict[str, float]] | None = (
+            {"host_free": {}, "finish": {}} if self.queue_aware else None)
         while ready:
             node_id = ready.pop()
             report.scheduling_order.append(node_id)
@@ -129,13 +131,14 @@ class SiteScheduler:
                 results: dict[str, HostSelectionResult],
                 table: ResourceAllocationTable,
                 report: ScheduleReport,
-                eft: dict | None = None) -> AllocationEntry:
+                eft: dict[str, dict[str, float]] | None = None
+                ) -> AllocationEntry:
         node = graph.node(node_id)
         parents = graph.predecessors(node_id)
         preferred = node.properties.preferred_site
         # candidate key: (site, choice); the paper considers one choice
         # per site, the queue-aware extension also weighs alternatives.
-        candidates: list[tuple[float, float, object, str]] = []
+        candidates: list[tuple[float, float, HostChoice, str]] = []
         site_best: dict[str, float] = {}
         for site, result in results.items():
             options = (result.ranked_for(node_id) if self.queue_aware

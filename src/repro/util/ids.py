@@ -26,7 +26,7 @@ class IdFactory:
     """
 
     def __init__(self) -> None:
-        self._counters: dict[str, itertools.count] = defaultdict(
+        self._counters: dict[str, itertools.count[int]] = defaultdict(
             lambda: itertools.count(1)
         )
         self._lock = threading.Lock()

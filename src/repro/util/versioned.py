@@ -1,0 +1,28 @@
+"""The ``@versioned`` marker for classes under the INV001 contract.
+
+A *versioned* class carries a monotone stamp that the prediction memo
+keys on: every method that mutates instance data must bump the stamp (or
+call a stamp helper) so cached ``Predict()`` results go stale.  The
+decorator changes no behaviour — it records the stamp attribute on the
+class and marks it for ``tools.reprolint``'s INV001 checker, which
+verifies the contract statically on every class that carries the marker
+(plus the core repositories it knows by name).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_T = TypeVar("_T", bound=type)
+
+__all__ = ["versioned"]
+
+
+def versioned(version_attr: str = "_version") -> Callable[[_T], _T]:
+    """Class decorator marking *version_attr* as the INV001 stamp."""
+
+    def mark(cls: _T) -> _T:
+        cls.__versioned_attr__ = version_attr  # type: ignore[attr-defined]
+        return cls
+
+    return mark

@@ -8,6 +8,8 @@ scales to N sites for the F1/F4 sweeps.
 
 from __future__ import annotations
 
+import zlib
+
 from repro.core.vdce import VDCE
 from repro.net.topology import ATM_OC3, ETHERNET_10, T1_WAN, LinkSpec
 from repro.resources.host import HostSpec
@@ -75,9 +77,11 @@ def wide_area_testbed(n_sites: int = 4, hosts_per_site: int = 4,
         _populate_site(vdce, name, hosts_per_site, offset=2 * i)
     if with_loads:
         for host in vdce.world.all_hosts():
+            # builtin hash() is salted per process; crc32 keeps the mean
+            # profile identical across runs (same idiom as repro.util.rng)
+            bucket = zlib.crc32(host.address.encode("utf-8")) % 5
             vdce.attach_background_load(host.address, "random-walk",
-                                        mean=0.2 + 0.6 * (hash(host.address)
-                                                          % 5) / 5.0)
+                                        mean=0.2 + 0.6 * bucket / 5.0)
     return vdce
 
 

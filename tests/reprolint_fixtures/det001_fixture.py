@@ -1,0 +1,40 @@
+"""DET001 fixture: nondeterminism hazards, plus clean counterparts.
+
+Lines carrying ``# expect: RULE`` must be reported; all other lines
+must stay clean.  This directory is excluded from real lint runs.
+"""
+
+import random
+
+import numpy as np
+
+
+def bad_set_iteration(table):
+    for host in table.hosts():  # expect: DET001
+        print(host)
+    return [h for h in {1, 2, 3}]  # expect: DET001
+
+
+def bad_identity(obj, name):
+    key = id(obj)  # expect: DET001
+    bucket = hash(name) % 5  # expect: DET001
+    return key, bucket
+
+
+def bad_randomness(values):
+    x = random.random()  # expect: DET001
+    np.random.shuffle(values)  # expect: DET001
+    gen = np.random.default_rng()  # expect: DET001
+    return x, gen
+
+
+def good(table, rng):
+    for host in sorted(table.hosts()):
+        print(host)
+    gen = np.random.default_rng(42)
+    return gen.random() + rng.stream("loads").random()
+
+
+def suppressed(table):
+    # reprolint: disable=DET001 -- membership-only set, order never escapes
+    return {h for h in table.hosts()}

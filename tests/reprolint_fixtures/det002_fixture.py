@@ -1,0 +1,19 @@
+"""DET002 fixture: wall-clock reads that simulated code must not make."""
+
+import time
+from datetime import datetime
+from time import sleep
+
+
+def bad_clock():
+    t0 = time.time()  # expect: DET002
+    t1 = time.monotonic()  # expect: DET002
+    now = datetime.now()  # expect: DET002
+    sleep(0.1)  # expect: DET002
+    time.sleep(1)  # expect: DET002
+    return t0, t1, now
+
+
+def good(env):
+    yield env.timeout(1.0)
+    return env.now

@@ -1,0 +1,58 @@
+"""INV001 fixture: versioned classes and the stamp-on-mutate contract."""
+
+
+def versioned(attr):  # stand-in for repro.util.versioned
+    def mark(cls):
+        return cls
+    return mark
+
+
+class Plain:
+    """Not versioned: mutations without stamps are nobody's business."""
+
+    def set(self, x):
+        self.value = x
+
+
+@versioned("_version")
+class Database:
+    def __init__(self):
+        self._data = {}
+        self._version = 0
+        self._version_clock = 0
+
+    def good_set(self, key, value):
+        self._data[key] = value
+        self._version += 1
+
+    def good_stamped(self, rec):
+        rec.cpu_load = 1.0
+        self._stamp(rec)
+
+    def bad_set(self, key, value):  # expect: INV001
+        self._data[key] = value
+
+    def bad_alias(self, key):  # expect: INV001
+        rec = self.get(key)
+        rec.cpu_load = 2.0
+
+    def read_only(self, key):
+        return self._data[key]
+
+    def _stamp(self, rec):
+        rec.version = self._version_clock
+        self._version_clock += 1
+
+    def get(self, key):
+        return self._data[key]
+
+    @classmethod
+    def load(cls, path):
+        db = cls()
+        db._data = {"from": path}
+        return db
+
+
+class TaskPerformanceDB:  # versioned by name, no decorator needed
+    def bad_register(self, name, rec):  # expect: INV001
+        self._records[name] = rec

@@ -1,0 +1,34 @@
+"""PERF001 fixture: hot-path hygiene (slots parity, tracer guards)."""
+
+from dataclasses import dataclass
+
+
+class Slotted:
+    __slots__ = ("x",)
+
+    def __init__(self, x):
+        self.x = x
+
+
+class Unslotted:  # expect: PERF001
+    def __init__(self, y):
+        self.y = y
+
+
+@dataclass
+class Record:  # dataclasses are exempt from slots parity
+    z: int = 0
+
+
+class FixtureError(Exception):
+    """Exception types are exempt from slots parity."""
+
+
+def send(tracer, payload):
+    tracer.record("send", payload)  # expect: PERF001
+    if tracer.enabled:
+        tracer.record("traced-send", payload)
+    for _ in range(2):
+        if tracer.enabled:
+            tracer.record("loop", payload)
+        tracer.record("loop-unguarded", payload)  # expect: PERF001

@@ -1,0 +1,35 @@
+"""SIM001 fixture: process generators doing real-world things."""
+
+import socket
+import subprocess
+import time
+
+SHARED = []
+
+
+def bad_sleeper(env):
+    time.sleep(0.5)  # expect: SIM001
+    yield env.timeout(1.0)
+
+
+def bad_real_io(env):
+    sock = socket.create_connection(("host", 80))  # expect: SIM001
+    yield env.timeout(1.0)
+    subprocess.run(["ls"])  # expect: SIM001
+    return sock
+
+
+def bad_shared(env):
+    global SHARED  # expect: SIM001
+    yield env.timeout(1.0)
+    SHARED.append(env.now)
+
+
+def good(env, store):
+    item = yield store.get()
+    yield env.timeout(1.0)
+    return item
+
+
+def not_a_generator():
+    time.sleep(1.0)  # fine for SIM001; wall clocks are DET002's business

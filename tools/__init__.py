@@ -1,0 +1,1 @@
+"""Developer tooling for the VDCE reproduction (not shipped with repro)."""

@@ -1,0 +1,3 @@
+from tools.reprolint.cli import main
+
+raise SystemExit(main())

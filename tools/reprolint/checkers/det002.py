@@ -1,0 +1,92 @@
+"""DET002: wall-clock leaks in simulated code.
+
+Inside the simulation the only clock is ``env.now``.  Any read of the
+host's wall clock (``time.time``, ``time.monotonic``, ``datetime.now``,
+…) or real sleeping (``time.sleep``) makes a run's behaviour depend on
+the machine it ran on.  The real-socket bridge (``realsock.py``) and the
+developer tooling under ``tools/`` legitimately touch real time and are
+exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import Checker
+
+_TIME_ATTRS = (
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "sleep",
+    "localtime", "gmtime",
+)
+_DATETIME_ATTRS = ("now", "utcnow", "today")
+
+
+class WallClockChecker(Checker):
+    rule = "DET002"
+    description = "wall-clock access in simulation code (use env.now)"
+    path_filters = ("repro/",)
+    exempt_files = ("realsock.py",)
+    default_config: dict[str, object] = {
+        "time_attrs": _TIME_ATTRS,
+        "datetime_attrs": _DATETIME_ATTRS,
+    }
+
+    def begin_file(self, tree: ast.Module, source: str) -> None:
+        self._time_aliases: set[str] = set()
+        self._datetime_aliases: set[str] = set()  # the datetime *module*
+        self._datetime_class_aliases: set[str] = set()
+        self._from_time_names: set[str] = set()
+        time_attrs = self.config["time_attrs"]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        self._time_aliases.add(bound)
+                    elif alias.name == "datetime":
+                        self._datetime_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in time_attrs:  # type: ignore[operator]
+                            self._from_time_names.add(
+                                alias.asname or alias.name)
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            self._datetime_class_aliases.add(
+                                alias.asname or alias.name)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        value = node.value
+        time_attrs = self.config["time_attrs"]
+        dt_attrs = self.config["datetime_attrs"]
+        if isinstance(value, ast.Name):
+            if value.id in self._time_aliases \
+                    and node.attr in time_attrs:  # type: ignore[operator]
+                self.report(node, (
+                    f"time.{node.attr} reads the host wall clock; "
+                    "simulated code must use env.now / env.timeout"))
+            elif value.id in self._datetime_class_aliases \
+                    and node.attr in dt_attrs:  # type: ignore[operator]
+                self.report(node, (
+                    f"datetime.{node.attr}() reads the host wall clock; "
+                    "simulated code must use env.now"))
+        elif (isinstance(value, ast.Attribute)
+              and isinstance(value.value, ast.Name)
+              and value.value.id in self._datetime_aliases
+              and value.attr in ("datetime", "date")
+              and node.attr in dt_attrs):  # type: ignore[operator]
+            self.report(node, (
+                f"datetime.{value.attr}.{node.attr}() reads the host wall "
+                "clock; simulated code must use env.now"))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._from_time_names:
+            self.report(node, (
+                f"{func.id}() (imported from time) touches the host wall "
+                "clock; simulated code must use env.now / env.timeout"))
+        self.generic_visit(node)

@@ -1,0 +1,155 @@
+"""INV001: the cache-invalidation contract for versioned classes.
+
+``Predict()`` memoizes on ``(…, record.version, task_performance.version)``
+(PR 2).  That only works if every mutation of a versioned object's data
+also bumps its version stamp.  This checker targets classes that are
+either named in config (``TaskPerformanceDB``, ``ResourcePerformanceDB``)
+or carry the ``@versioned`` marker decorator from ``repro.util``, and
+flags any regular method that assigns to instance data — directly
+through ``self``, through a record obtained from ``self`` (e.g.
+``rec = self.get(address)``), or through a non-self parameter — without
+bumping a version attribute or calling a stamp method in the same body.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import Checker
+
+_VERSION_ATTRS = ("version", "_version", "_version_clock")
+_STAMP_METHODS = ("_stamp", "touch", "bump_version")
+
+
+class VersionStampChecker(Checker):
+    rule = "INV001"
+    description = ("mutating method of a versioned class must bump the "
+                   "version stamp")
+    default_config: dict[str, object] = {
+        # class name -> it is versioned even without the decorator
+        "versioned_classes": ("TaskPerformanceDB", "ResourcePerformanceDB"),
+        "version_attrs": _VERSION_ATTRS,
+        "stamp_methods": _STAMP_METHODS,
+    }
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._is_versioned(node):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._check_method(node.name, item)
+        self.generic_visit(node)
+
+    def _is_versioned(self, node: ast.ClassDef) -> bool:
+        named = self.config["versioned_classes"]
+        if node.name in named:  # type: ignore[operator]
+            return True
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            if isinstance(target, ast.Name) and target.id == "versioned":
+                return True
+            if isinstance(target, ast.Attribute) \
+                    and target.attr == "versioned":
+                return True
+        return False
+
+    # -- per-method analysis -----------------------------------------------
+    def _check_method(self, class_name: str,
+                      fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if fn.name.startswith("__") and fn.name.endswith("__"):
+            return
+        stamp_methods = self.config["stamp_methods"]
+        if fn.name in stamp_methods:  # type: ignore[operator]
+            return
+        for deco in fn.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = target.id if isinstance(target, ast.Name) else \
+                target.attr if isinstance(target, ast.Attribute) else ""
+            if name in ("classmethod", "staticmethod", "property", "setter",
+                        "cached_property"):
+                return
+        if not fn.args.args:
+            return
+        self_name = fn.args.args[0].arg
+        params = {a.arg for a in fn.args.args[1:]}
+        params.update(a.arg for a in fn.args.kwonlyargs)
+
+        version_attrs = self.config["version_attrs"]
+        aliases = self._record_aliases(fn, self_name)
+        mutations: list[ast.stmt] = []
+        bumped = False
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, ast.FunctionDef) and stmt is not fn:
+                continue
+            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                    else [stmt.target]
+                for target in targets:
+                    root, attr = self._root_of(target)
+                    if root is None:
+                        continue
+                    is_version = attr in version_attrs  # type: ignore[operator]
+                    if root == self_name and is_version:
+                        bumped = True
+                    elif root == self_name and attr is not None:
+                        mutations.append(stmt)
+                    elif root in aliases or root in params:
+                        if attr is not None and not is_version:
+                            mutations.append(stmt)
+            elif isinstance(stmt, ast.Call):
+                func = stmt.func
+                if isinstance(func, ast.Attribute) \
+                        and isinstance(func.value, ast.Name) \
+                        and func.value.id == self_name \
+                        and func.attr in stamp_methods:  # type: ignore[operator]
+                    bumped = True
+        if mutations and not bumped:
+            first = mutations[0]
+            self.report(fn, (
+                f"{class_name}.{fn.name} assigns to instance data "
+                f"(line {first.lineno}) without bumping a version stamp; "
+                "the Predict() memo will serve stale results"))
+
+    @staticmethod
+    def _record_aliases(fn: ast.AST, self_name: str) -> set[str]:
+        """Local names bound from ``self.get(...)`` / ``self.<x>[...]``."""
+        aliases: set[str] = set()
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            value = stmt.value
+            from_self = False
+            if isinstance(value, ast.Call) \
+                    and isinstance(value.func, ast.Attribute) \
+                    and isinstance(value.func.value, ast.Name) \
+                    and value.func.value.id == self_name:
+                from_self = True
+            elif isinstance(value, ast.Subscript) \
+                    and isinstance(value.value, ast.Attribute) \
+                    and isinstance(value.value.value, ast.Name) \
+                    and value.value.value.id == self_name:
+                from_self = True
+            if from_self:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+        return aliases
+
+    @staticmethod
+    def _root_of(target: ast.expr) -> tuple[str | None, str | None]:
+        """Peel ``x.a.b[c] = …`` down to (root name, first attribute).
+
+        Returns ``(None, None)`` for plain-local assignments, and
+        ``(root, None)`` when the root name itself is the target.
+        """
+        attr: str | None = None
+        node = target
+        while True:
+            if isinstance(node, ast.Attribute):
+                attr = node.attr
+                node = node.value
+            elif isinstance(node, ast.Subscript):
+                node = node.value
+            elif isinstance(node, ast.Name):
+                return (node.id, attr) if attr is not None else (None, None)
+            else:
+                return (None, None)

@@ -1,0 +1,148 @@
+"""PERF001: hot-path hygiene in the kernel and the network send path.
+
+PR 2 measured two things that matter on the hot path: instance dict
+lookups (hence ``__slots__`` on every kernel class) and tracer overhead
+when tracing is off (hence every ``tracer.record`` behind an
+``if tracer.enabled`` guard).  This checker keeps both properties from
+regressing in the two files where they were earned:
+
+* a class without ``__slots__`` in a module where sibling classes have
+  them (dataclasses and exception types are exempt);
+* a ``…tracer.record(...)`` call not enclosed in an ``if`` whose test
+  consults ``.enabled``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import Checker
+
+_EXC_BASES = ("Exception", "BaseException", "RuntimeError", "ValueError",
+              "KeyError", "TypeError")
+
+
+class HotPathHygieneChecker(Checker):
+    rule = "PERF001"
+    description = ("hot-path files: __slots__ parity and guarded "
+                   "tracer calls")
+    path_filters = ("repro/simcore/engine.py", "repro/net/network.py")
+    default_config: dict[str, object] = {}
+
+    # -- __slots__ parity --------------------------------------------------
+    def visit_Module(self, node: ast.Module) -> None:
+        classes = [n for n in node.body if isinstance(n, ast.ClassDef)]
+        slotted = [c for c in classes if self._has_slots(c)]
+        if slotted:
+            for cls in classes:
+                if cls in slotted or self._is_exempt_class(cls):
+                    continue
+                self.report(cls, (
+                    f"class {cls.name} has no __slots__ but "
+                    f"{len(slotted)} sibling class(es) in this hot-path "
+                    "module do; per-instance dicts cost on every "
+                    "attribute access"))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _has_slots(cls: ast.ClassDef) -> bool:
+        for stmt in cls.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id == "__slots__":
+                        return True
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and stmt.target.id == "__slots__":
+                return True
+        return False
+
+    @staticmethod
+    def _is_exempt_class(cls: ast.ClassDef) -> bool:
+        for deco in cls.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = target.id if isinstance(target, ast.Name) else \
+                target.attr if isinstance(target, ast.Attribute) else ""
+            if name == "dataclass":
+                return True
+        for base in cls.bases:
+            name = base.id if isinstance(base, ast.Name) else \
+                base.attr if isinstance(base, ast.Attribute) else ""
+            if name in _EXC_BASES or name.endswith(("Error", "Exception",
+                                                    "Interrupt")):
+                return True
+        return False
+
+    # -- guarded tracer calls ----------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scan_for_tracer(node.body, guarded=False)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _scan_for_tracer(self, stmts: list[ast.stmt],
+                         guarded: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # visited separately
+            if isinstance(stmt, ast.If):
+                body_guarded = guarded or self._test_checks_enabled(
+                    stmt.test)
+                self._scan_for_tracer(stmt.body, body_guarded)
+                self._scan_for_tracer(stmt.orelse, guarded)
+                continue
+            # expressions hanging directly off this statement (the nested
+            # statement lists are recursed into below, so an `if` inside
+            # a for/while/with/try is still honoured)
+            for expr in self._immediate_exprs(stmt):
+                for child in ast.walk(expr):
+                    if isinstance(child, ast.Call) \
+                            and self._is_tracer_record(child) \
+                            and not guarded:
+                        self.report(child, (
+                            "tracer.record() outside an `if "
+                            "tracer.enabled` guard pays dict/append cost "
+                            "on every send even with tracing off"))
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if isinstance(inner, list) and inner \
+                        and isinstance(inner[0], ast.stmt):
+                    self._scan_for_tracer(inner, guarded)
+            for handler in getattr(stmt, "handlers", []):
+                self._scan_for_tracer(handler.body, guarded)
+
+    @staticmethod
+    def _immediate_exprs(stmt: ast.stmt) -> list[ast.expr]:
+        out: list[ast.expr] = []
+        for _field, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.expr):
+                out.append(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.expr):
+                        out.append(item)
+                    elif isinstance(item, ast.withitem):
+                        out.append(item.context_expr)
+                        if item.optional_vars is not None:
+                            out.append(item.optional_vars)
+        return out
+
+    @staticmethod
+    def _test_checks_enabled(test: ast.expr) -> bool:
+        for node in ast.walk(test):
+            if isinstance(node, ast.Attribute) and node.attr == "enabled":
+                return True
+        return False
+
+    @staticmethod
+    def _is_tracer_record(node: ast.Call) -> bool:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "record"):
+            return False
+        value = func.value
+        if isinstance(value, ast.Name):
+            return "tracer" in value.id
+        if isinstance(value, ast.Attribute):
+            return "tracer" in value.attr
+        return False

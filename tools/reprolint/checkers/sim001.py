@@ -1,0 +1,124 @@
+"""SIM001: simulation-safety of process generator functions.
+
+A simulation process is a generator driven by the engine; between two
+``yield`` points the whole simulated world is frozen.  A process that
+calls a blocking real-I/O API (``time.sleep``, sockets, subprocesses)
+stalls the kernel for real wall time, and one that shares state through
+``global``/``nonlocal`` couples processes outside the event API, where
+resume order — not simulated causality — decides the outcome.
+
+This is a syntactic approximation: it flags *direct* calls to a known
+blocking surface and ``global``/``nonlocal`` declarations inside any
+generator function.  Indirect blocking through helpers is out of scope
+(see docs/static-analysis.md).  The real-socket bridge, the web server,
+and the CLI entry points legitimately mix generators with real I/O and
+are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import Checker
+
+#: fully-dotted calls that block the real world
+_BLOCKING_EXACT = ("time.sleep", "os.system", "os.popen", "input",
+                   "breakpoint")
+#: any attribute call on these modules blocks or does real I/O
+_BLOCKING_MODULES = ("socket", "subprocess", "requests", "urllib",
+                     "http", "ftplib", "telnetlib")
+
+
+class SimulationSafetyChecker(Checker):
+    rule = "SIM001"
+    description = ("process generators must not block on real I/O or "
+                   "share state via global/nonlocal")
+    path_filters = ("repro/",)
+    exempt_files = ("realsock.py", "webserver.py", "local.py", "cli.py")
+    default_config: dict[str, object] = {
+        "blocking_exact": _BLOCKING_EXACT,
+        "blocking_modules": _BLOCKING_MODULES,
+    }
+
+    def begin_file(self, tree: ast.Module, source: str) -> None:
+        # alias -> canonical module name, for `import subprocess as sp`
+        self._module_aliases: dict[str, str] = {}
+        self._from_blocking_names: dict[str, str] = {}
+        modules = self.config["blocking_modules"]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top in modules or top in ("time", "os"):  # type: ignore[operator]
+                        bound = alias.asname or top
+                        self._module_aliases[bound] = top
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                top = node.module.split(".")[0]
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    dotted = f"{top}.{alias.name}"
+                    if top in modules:  # type: ignore[operator]
+                        self._from_blocking_names[bound] = dotted
+                    elif dotted in self.config["blocking_exact"]:  # type: ignore[operator]
+                        self._from_blocking_names[bound] = dotted
+
+    # -- generator detection -----------------------------------------------
+    @staticmethod
+    def _own_scope_nodes(fn: ast.AST) -> list[ast.AST]:
+        """All nodes of *fn*'s body excluding nested function scopes."""
+        out: list[ast.AST] = []
+        stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            out.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        own = self._own_scope_nodes(node)
+        if any(isinstance(n, (ast.Yield, ast.YieldFrom)) for n in own):
+            self._check_generator(node, own)
+        self.generic_visit(node)  # nested defs get their own pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _check_generator(self, fn: ast.FunctionDef,
+                         own: list[ast.AST]) -> None:
+        for node in own:
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                kind = "global" if isinstance(node, ast.Global) else \
+                    "nonlocal"
+                self.report(node, (
+                    f"process generator {fn.name} shares state via "
+                    f"{kind}; pass state through the engine's event API "
+                    "(stores, interrupts) instead"))
+            elif isinstance(node, ast.Call):
+                self._check_call(fn, node)
+
+    def _check_call(self, fn: ast.FunctionDef, node: ast.Call) -> None:
+        func = node.func
+        exact = self.config["blocking_exact"]
+        if isinstance(func, ast.Name):
+            if func.id in exact:  # type: ignore[operator]
+                self.report(node, (
+                    f"process generator {fn.name} calls blocking "
+                    f"{func.id}(); the kernel stalls for real wall time"))
+            elif func.id in self._from_blocking_names:
+                dotted = self._from_blocking_names[func.id]
+                self.report(node, (
+                    f"process generator {fn.name} calls blocking "
+                    f"{dotted}(); use env.timeout / simulated transports"))
+        elif isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            module = self._module_aliases.get(func.value.id)
+            if module is None:
+                return
+            dotted = f"{module}.{func.attr}"
+            modules = self.config["blocking_modules"]
+            if dotted in exact or module in modules:  # type: ignore[operator]
+                self.report(node, (
+                    f"process generator {fn.name} calls blocking "
+                    f"{dotted}(); use env.timeout / simulated transports"))

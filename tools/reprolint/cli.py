@@ -1,0 +1,72 @@
+"""Command-line entry point: ``python -m tools.reprolint src/ tests/``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from tools.reprolint.checkers import ALL_CHECKERS
+from tools.reprolint.core import DEFAULT_EXCLUDES, LintRunner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=("project-specific determinism & invariant linter "
+                     "for the VDCE reproduction"))
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to lint "
+                             "(default: src tests)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--no-path-filter", action="store_true",
+                        help="run every rule on every file (fixture "
+                             "testing)")
+    parser.add_argument("--no-default-excludes", action="store_true",
+                        help="also lint fixture/cache directories")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule, cls in ALL_CHECKERS.items():
+            scope = ", ".join(cls.path_filters) if cls.path_filters \
+                else "all files"
+            print(f"{rule}  {cls.description}")
+            print(f"        scope: {scope}")
+        return 0
+
+    if args.select:
+        wanted = {r.strip().upper() for r in args.select.split(",")}
+        unknown = wanted - set(ALL_CHECKERS)
+        if unknown:
+            print(f"reprolint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        selected = [cls for rule, cls in ALL_CHECKERS.items()
+                    if rule in wanted]
+    else:
+        selected = list(ALL_CHECKERS.values())
+
+    checkers = [cls(ignore_path_filters=args.no_path_filter)
+                for cls in selected]
+    excludes = () if args.no_default_excludes else DEFAULT_EXCLUDES
+    result = LintRunner(checkers, excludes=excludes).run(args.paths)
+
+    if args.format == "json":
+        print(result.render_json())
+    else:
+        print(result.render_text())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
