@@ -8,7 +8,10 @@ Gives downstream users the paper's workflow without writing code:
 * ``schedule``  — schedule a workload family and print the resource
                   allocation table (without executing);
 * ``local``     — execute an application for real over loopback TCP;
-* ``monitor``   — run the monitoring pipeline and print the workload view.
+* ``monitor``   — run the monitoring pipeline and print the workload view;
+* ``obs``       — run a workload with observability on and print the
+                  utilization / queue-depth / latency report (optionally
+                  exporting Chrome-trace, Prometheus, or JSONL dumps).
 """
 
 from __future__ import annotations
@@ -205,6 +208,56 @@ def cmd_monitor(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    from repro.obs import Observability
+    from repro.obs.export import (
+        chrome_trace_json,
+        spans_to_jsonl,
+        to_prometheus_text,
+    )
+    from repro.obs.report import render_report, sample_queue_depths
+
+    obs = Observability()
+    vdce = nynet_testbed(seed=args.seed, hosts_per_site=args.hosts,
+                         with_loads=not args.idle, obs=obs)
+    vdce.start()
+    if not args.idle:
+        vdce.warm_up(30.0)
+    graph = _build_app(args.app, vdce.registry, args.size)
+    processes = [vdce.submit(graph, "syracuse", queue_aware=args.queue_aware)
+                 for _ in range(args.apps)]
+    deadline = vdce.now + args.max_time
+    while (any(not p.triggered for p, _ in processes)
+           and vdce.now < deadline):
+        vdce.run(until=min(vdce.now + args.sample_every, deadline))
+        sample_queue_depths(obs, vdce)
+    for process, run in processes:
+        if not process.triggered:
+            run.status = "timeout"
+        elif not process.ok:
+            run.status = "rejected"
+            raise process.exception
+    statuses = [run.status for _, run in processes]
+    print(f"application : {graph.name} ({len(graph)} tasks) x {args.apps}")
+    print(f"statuses    : {', '.join(statuses)}")
+    print()
+    print(render_report(obs, clock_end=vdce.now), end="")
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            fh.write(chrome_trace_json(obs.spans.spans, clock_end=vdce.now))
+        print(f"\nChrome trace written to {args.chrome} "
+              "(load in Perfetto / chrome://tracing)")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(to_prometheus_text(obs.metrics))
+        print(f"Prometheus text written to {args.prom}")
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(spans_to_jsonl(obs.spans.spans))
+        print(f"Span JSONL written to {args.jsonl}")
+    return 0 if all(s == "completed" for s in statuses) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -270,7 +323,25 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--policy", default="ci",
                          choices=("always", "ci", "threshold"))
 
-    for p in (solve, sched, monitor):
+    obs = sub.add_parser(
+        "obs", help="run with observability on and print the report")
+    obs.add_argument("--app", default="linear-solver")
+    obs.add_argument("--size", type=int, default=None)
+    obs.add_argument("--apps", type=int, default=1,
+                     help="copies of the application to submit")
+    obs.add_argument("--queue-aware", action="store_true")
+    obs.add_argument("--sample-every", type=float, default=5.0,
+                     help="queue-depth sampling period (simulated s)")
+    obs.add_argument("--max-time", type=float, default=3600.0,
+                     help="simulated-time budget")
+    obs.add_argument("--chrome", default=None,
+                     help="write a Chrome trace_event JSON here")
+    obs.add_argument("--prom", default=None,
+                     help="write a Prometheus text exposition here")
+    obs.add_argument("--jsonl", default=None,
+                     help="write the span log as JSONL here")
+
+    for p in (solve, sched, monitor, obs):
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--hosts", type=int, default=4,
                        help="hosts per site")
@@ -289,6 +360,7 @@ COMMANDS = {
     "schedule": cmd_schedule,
     "local": cmd_local,
     "monitor": cmd_monitor,
+    "obs": cmd_obs,
     "plan": cmd_plan,
     "show": cmd_show,
     "experiment": cmd_experiment,

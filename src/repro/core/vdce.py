@@ -30,6 +30,7 @@ from repro.afg.graph import ApplicationFlowGraph
 from repro.faults import FaultInjector, FaultPlan
 from repro.net import EXECUTION_REQUEST
 from repro.net.topology import LinkSpec
+from repro.obs import OBS_OFF, Observability
 from repro.prediction.calibration import calibrate_weights
 from repro.repository.site_repository import SiteRepository
 from repro.resources.failures import FailureInjector
@@ -62,8 +63,15 @@ class VDCE:
                  echo_timeout_s: float = 1.0,
                  filter_policy: str = "ci",
                  reschedule_policy: ReschedulePolicy | None = None,
-                 weight_jitter: float = 0.10) -> None:
+                 weight_jitter: float = 0.10,
+                 obs: Observability | None = None) -> None:
         self.world = VDCEnvironment(seed=seed, trace=trace)
+        #: observability handle threaded through every daemon; inert
+        #: (the shared OBS_OFF singleton) unless one is supplied.
+        self.obs = obs if obs is not None else OBS_OFF
+        if obs is not None:
+            obs.attach_tracer(self.world.tracer)
+        self.world.network.set_observability(self.obs)
         self.registry = registry or standard_registry()
         self.model = ExecutionModel(jitter=weight_jitter, seed=seed)
         self.monitor_period_s = monitor_period_s
@@ -177,7 +185,8 @@ class VDCE:
                                             access_domain="multi-site")
             self.repositories[site_name] = repo
             sm = SiteManager(self.env, self.network, site, repo,
-                             self.topology, tracer=self.tracer)
+                             self.topology, tracer=self.tracer,
+                             obs=self.obs)
             sm.on_reschedule_request = self._handle_reschedule_request
             self.site_managers[site_name] = sm
             self._start_site_daemons(site_name, site, sm)
@@ -210,22 +219,23 @@ class VDCE:
                 echo_period_s=self.echo_period_s,
                 echo_timeout_s=self.echo_timeout_s,
                 change_filter=ChangeFilter(policy=self.filter_policy),
-                tracer=self.tracer)
+                tracer=self.tracer, obs=self.obs)
             sm.register_group_manager(gm)
             self.group_managers[(site_name, group)] = gm
             for member in members:
                 host = site.host(member)
                 self.monitors[host.address] = MonitorDaemon(
                     self.env, self.network, host, gm.address,
-                    period_s=self.monitor_period_s, tracer=self.tracer)
+                    period_s=self.monitor_period_s, tracer=self.tracer,
+                    obs=self.obs)
                 dm = DataManager(self.env, self.network, host,
                                  byte_orders=self._byte_orders,
-                                 tracer=self.tracer)
+                                 tracer=self.tracer, obs=self.obs)
                 self.data_managers[host.address] = dm
                 self.app_controllers[host.address] = ApplicationController(
                     self.env, self.network, host, self.registry, self.model,
                     dm, gm.address, policy=self.reschedule_policy,
-                    tracer=self.tracer)
+                    tracer=self.tracer, obs=self.obs)
 
     # -- editor access -----------------------------------------------------
     def open_editor(self, user: str, password: str,
@@ -263,12 +273,31 @@ class VDCE:
                              table=None, report=None,  # type: ignore[arg-type]
                              submitted_at=self.now, status="running")
         self._active_runs[execution_id] = run
+        obs = self.obs
+        app_span = None
+        if obs.enabled:
+            app_span = obs.spans.begin(
+                graph.name, "application", local_site, self.now,
+                execution_id=execution_id)
+            obs.spans.bind(("app", execution_id), app_span)
+            obs.metrics.counter(
+                "vdce_apps_submitted_total",
+                help="applications submitted").inc(site=local_site)
 
         def proc(env):
             sm = self.site_managers[local_site]
+            round_span = None
+            if obs.enabled:
+                round_span = obs.spans.begin(
+                    f"schedule:{graph.name}", "schedule-round", sm.address,
+                    env.now, parent_id=app_span)
             table, report = yield from sm.schedule_application(
                 graph, k_remote_sites=k_remote_sites,
                 queue_aware=queue_aware)
+            if obs.enabled and round_span is not None:
+                obs.spans.end(round_span, env.now,
+                              sites=len(report.consulted_sites),
+                              tasks=len(table))
             run.table, run.report = table, report
             run.scheduled_at = env.now
             if qos is not None:
@@ -284,6 +313,13 @@ class VDCE:
             run.completions = dict(completions)
             run.finished_at = env.now
             run.status = "completed"
+            if obs.enabled and app_span is not None:
+                obs.spans.end(app_span, env.now,
+                              tasks=len(run.completions))
+                obs.metrics.counter(
+                    "vdce_apps_completed_total",
+                    help="applications run to completion").inc(
+                        site=local_site)
             return run
 
         process = self.env.process(proc(self.env),
@@ -359,6 +395,11 @@ class VDCE:
         self.tracer.record(self.now, "vdce:rescheduled", sm.address,
                            node=node_id, to=new_entry.host,
                            attempt=attempt)
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "vdce_reschedules_total",
+                help="facade-coordinated task reschedules").inc(
+                    site=local_site)
 
     def _handle_host_down(self, host: str) -> None:
         """Reroute unfinished tasks assigned to a failed host."""

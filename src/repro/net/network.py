@@ -21,6 +21,7 @@ from functools import lru_cache
 
 from repro.net.message import Message
 from repro.net.topology import Topology
+from repro.obs import OBS_OFF, Observability
 from repro.simcore.engine import Environment
 from repro.simcore.store import Store
 from repro.simcore.trace import Tracer
@@ -83,7 +84,8 @@ class Network:
     """Latency/bandwidth-modelled message delivery between endpoints."""
 
     __slots__ = ("env", "topology", "tracer", "per_message_overhead_s",
-                 "stats", "_mailboxes", "is_up", "fault_hook")
+                 "stats", "_mailboxes", "is_up", "fault_hook", "obs",
+                 "_m_messages", "_m_bytes", "_m_dropped", "_m_delay")
 
     def __init__(self, env: Environment, topology: Topology,
                  tracer: Tracer | None = None,
@@ -101,6 +103,27 @@ class Network:
         #: :class:`FaultAction` (or None for no fault); installed by
         #: :class:`repro.faults.FaultInjector`.
         self.fault_hook: Callable[[Message], FaultAction | None] | None = None
+        self.set_observability(OBS_OFF)
+
+    def set_observability(self, obs: Observability) -> None:
+        """Attach an :class:`~repro.obs.Observability` handle.
+
+        Registers this layer's instruments up front so ``send`` only
+        records (no registry lookups on the hot path).  The facade calls
+        this during construction; standalone Networks keep the inert
+        :data:`~repro.obs.OBS_OFF` default.
+        """
+        self.obs = obs
+        metrics = obs.metrics
+        self._m_messages = metrics.counter(
+            "net_messages_total", help="messages sent, by kind")
+        self._m_bytes = metrics.counter(
+            "net_bytes_total", help="payload bytes sent, by kind")
+        self._m_dropped = metrics.counter(
+            "net_dropped_total", help="messages dropped, by reason")
+        self._m_delay = metrics.histogram(
+            "net_delivery_delay_seconds",
+            help="modelled delivery delay, by kind")
 
     # -- endpoints --------------------------------------------------------
     def register(self, addr: str) -> Store:
@@ -147,6 +170,7 @@ class Network:
         now = env.now
         stats = self.stats
         tracer = self.tracer
+        obs = self.obs
         msg = Message(src=src, dst=dst, kind=kind, payload=payload,
                       size_bytes=size_bytes, send_time=now)
         box = self.mailbox(dst)
@@ -160,10 +184,15 @@ class Network:
         stats.bytes_by_kind[kind] += size_bytes
         if tracer.enabled:
             tracer.record(now, f"net:{kind}", src, dst=dst, bytes=size_bytes)
+        if obs.enabled:
+            self._m_messages.inc(kind=kind)
+            self._m_bytes.inc(size_bytes, kind=kind)
         if not (self.is_up(dst_host) and self.is_up(src_host)):
             stats.dropped += 1
             if tracer.enabled:
                 tracer.record(now, "net:dropped", src, dst=dst, kind=kind)
+            if obs.enabled:
+                self._m_dropped.inc(reason="host-down")
             return msg
         action = self.fault_hook(msg) if self.fault_hook is not None else None
         if action is not None and action.drop:
@@ -172,6 +201,8 @@ class Network:
             if tracer.enabled:
                 tracer.record(now, "net:injected-drop", src, dst=dst,
                               kind=kind)
+            if obs.enabled:
+                self._m_dropped.inc(reason="injected")
             return msg
         if src_host == dst_host:
             wire = 1e-5 + size_bytes / 1e9  # loopback
@@ -183,6 +214,17 @@ class Network:
             delay = delay * action.delay_multiplier + action.extra_delay_s
             copies += action.duplicates
             stats.injected_duplicates += action.duplicates
+        if obs.enabled:
+            self._m_delay.observe(delay, kind=kind)
+            # Message-delivery spans only for sends on behalf of a task
+            # (the Data Manager brackets those with current_parent):
+            # control-plane chatter is counted above but not spanned, so
+            # the causal tree stays one application's tree.
+            if obs.current_parent is not None:
+                obs.spans.complete(
+                    kind, "message-delivery", src, now, now + delay,
+                    parent_id=obs.current_parent, dst=dst,
+                    bytes=size_bytes)
 
         def deliver(env, box=box, msg=msg, delay=delay):
             yield env.timeout(delay)
@@ -191,6 +233,8 @@ class Network:
                 box.put(msg)
             else:
                 self.stats.dropped += 1
+                if self.obs.enabled:
+                    self._m_dropped.inc(reason="mid-flight")
 
         for _ in range(copies):
             env.process(deliver(env), name=f"deliver:{kind}")

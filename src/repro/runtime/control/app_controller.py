@@ -26,6 +26,7 @@ from repro.net import (
     START_SIGNAL,
 )
 from repro.net.network import Network
+from repro.obs import OBS_OFF, Observability
 from repro.resources.groundtruth import ExecutionModel
 from repro.resources.host import Host
 from repro.runtime.control.site_manager import TASK_COMPLETED
@@ -58,7 +59,8 @@ class ApplicationController:
                  group_manager_addr: str,
                  policy: ReschedulePolicy | None = None,
                  monitor_interval_s: float = 1.0,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 obs: Observability | None = None) -> None:
         self.env = env
         self.network = network
         self.host = host
@@ -69,6 +71,7 @@ class ApplicationController:
         self.policy = policy or ReschedulePolicy()
         self.monitor_interval_s = monitor_interval_s
         self.tracer = tracer or Tracer(enabled=False)
+        self.obs = obs if obs is not None else OBS_OFF
         self.address = f"{host.address}/{self.SERVICE}"
         self.mailbox = network.register(self.address)
         self.stats = ControllerStats()
@@ -198,6 +201,14 @@ class ApplicationController:
                            node=node_id, duration=duration,
                            execution=execution_id)
         started = self.env.now
+        obs = self.obs
+        task_span = None
+        if obs.enabled:
+            task_span = obs.spans.begin(
+                node_id, "task-execution", self.host.address, started,
+                parent_id=obs.spans.lookup(("app", execution_id)),
+                task=entry["task_name"])
+            obs.spans.bind(("task", execution_id, node_id), task_span)
         task_proc = self.env.active_process
         watcher = self.env.process(
             self._overload_watch(task_proc, overloaded),
@@ -211,6 +222,13 @@ class ApplicationController:
             self.tracer.record(self.env.now, "task-terminated",
                                self.host.address, node=node_id,
                                cause=str(interrupt.cause))
+            if obs.enabled and task_span is not None:
+                obs.spans.end(task_span, self.env.now,
+                              terminated=str(interrupt.cause))
+                obs.metrics.counter(
+                    "ac_tasks_terminated_total",
+                    help="tasks terminated mid-run").inc(
+                        host=self.host.address)
             self._request_reschedule(execution_id, entry, inputs,
                                      reason=str(interrupt.cause))
             return
@@ -219,6 +237,15 @@ class ApplicationController:
                 watcher.interrupt("task-done")
         self.host.task_finished(load=1.0, memory_mb=memory)
         elapsed = self.env.now - started
+        if obs.enabled and task_span is not None:
+            obs.spans.end(task_span, self.env.now, elapsed=elapsed)
+            obs.metrics.counter(
+                "ac_tasks_executed_total",
+                help="tasks run to completion").inc(host=self.host.address)
+            obs.metrics.histogram(
+                "ac_task_elapsed_seconds",
+                help="task wall time on the simulated machine").observe(
+                    elapsed, host=self.host.address)
         outputs = self._compute_outputs(definition, inputs, entry)
         # ship outputs along every outgoing channel
         for link in entry["out_links"]:

@@ -31,6 +31,7 @@ from repro.net import (
     WORKLOAD_UPDATE,
 )
 from repro.net.network import Network
+from repro.obs import OBS_OFF, Observability
 from repro.runtime.control.change_filter import ChangeFilter
 from repro.simcore.engine import Environment
 from repro.simcore.trace import Tracer
@@ -62,7 +63,8 @@ class GroupManager:
                  echo_timeout_s: float = 1.0,
                  miss_limit: int = 2,
                  change_filter: ChangeFilter | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 obs: Observability | None = None) -> None:
         if echo_period_s <= 0 or echo_timeout_s <= 0:
             raise ConfigurationError("echo period/timeout must be positive")
         if miss_limit < 1:
@@ -79,6 +81,7 @@ class GroupManager:
         self.miss_limit = miss_limit
         self.filter = change_filter or ChangeFilter()
         self.tracer = tracer or Tracer(enabled=False)
+        self.obs = obs if obs is not None else OBS_OFF
         self.stats = GroupManagerStats()
         self.address = f"{site}/{leader_host}/{self.SERVICE}"
         self.mailbox = network.register(self.address)
@@ -112,7 +115,15 @@ class GroupManager:
         self.stats.reports_received += 1
         sample = msg.payload
         host = sample["host"]
-        if self.filter.observe(host, sample["cpu_load"]):
+        forwarded = self.filter.observe(host, sample["cpu_load"])
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "gm_reports_total",
+                help="load reports handled, by filter outcome").inc(
+                    group=self.group,
+                    outcome="forwarded" if forwarded else "suppressed")
+        if forwarded:
             self.stats.updates_forwarded += 1
             self.network.send(self.address, self.site_manager_addr,
                               WORKLOAD_UPDATE, payload=sample, size_bytes=64)
@@ -127,6 +138,11 @@ class GroupManager:
         while True:
             yield self.env.timeout(self.echo_period_s)
             self.stats.echo_rounds += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "gm_echo_rounds_total",
+                    help="echo rounds started, by group").inc(
+                        group=self.group)
             self._echo_seq += 1
             self._replied = set()
             sent_at = self.env.now
@@ -146,8 +162,15 @@ class GroupManager:
             # the "network parameters ... within a group" measurement.
             rtt = self.env.now - self._round_sent_at
             self.stats.rtt_samples.setdefault(host, []).append(rtt)
+            obs = self.obs
+            if obs.enabled:
+                obs.metrics.histogram(
+                    "gm_echo_rtt_seconds",
+                    help="intra-group echo round-trip times").observe(
+                        rtt, host=host)
 
     def _evaluate_round(self, _sent_at: float) -> None:
+        obs = self.obs
         for host in self.member_hosts:
             if host in self._replied:
                 self._misses[host] = 0
@@ -155,6 +178,11 @@ class GroupManager:
                     # the machine answered again: recovery
                     self._marked_down.discard(host)
                     self.stats.recoveries_detected += 1
+                    if obs.enabled:
+                        obs.metrics.counter(
+                            "gm_liveness_events_total",
+                            help="echo-inferred host state changes").inc(
+                                host=host, kind="recovery")
                     self.network.send(self.address, self.site_manager_addr,
                                       HOST_UP, payload={"host": host,
                                                         "time": self.env.now},
@@ -167,6 +195,11 @@ class GroupManager:
                         host not in self._marked_down:
                     self._marked_down.add(host)
                     self.stats.failures_detected += 1
+                    if obs.enabled:
+                        obs.metrics.counter(
+                            "gm_liveness_events_total",
+                            help="echo-inferred host state changes").inc(
+                                host=host, kind="failure")
                     self.network.send(self.address, self.site_manager_addr,
                                       HOST_DOWN, payload={"host": host,
                                                           "time": self.env.now},

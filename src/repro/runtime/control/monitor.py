@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.net import ECHO_REPLY, ECHO_REQUEST, LOAD_REPORT
 from repro.net.network import Network
+from repro.obs import OBS_OFF, Observability
 from repro.resources.host import Host
 from repro.simcore.engine import Environment
 from repro.simcore.trace import Tracer
@@ -27,7 +28,8 @@ class MonitorDaemon:
 
     def __init__(self, env: Environment, network: Network, host: Host,
                  group_leader_addr: str, period_s: float = 2.0,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 obs: Observability | None = None) -> None:
         if period_s <= 0:
             raise ConfigurationError("monitor period must be positive")
         self.env = env
@@ -36,6 +38,7 @@ class MonitorDaemon:
         self.group_leader_addr = group_leader_addr
         self.period_s = period_s
         self.tracer = tracer or Tracer(enabled=False)
+        self.obs = obs if obs is not None else OBS_OFF
         self.address = f"{host.address}/{self.SERVICE}"
         self.mailbox = network.register(self.address)
         self.reports_sent = 0
@@ -62,10 +65,21 @@ class MonitorDaemon:
             yield self.env.timeout(self.period_s)
             if not self.host.up:
                 continue  # a down host measures nothing
+            sample = self.measure()
             self.network.send(self.address, self.group_leader_addr,
-                              LOAD_REPORT, payload=self.measure(),
+                              LOAD_REPORT, payload=sample,
                               size_bytes=64)
             self.reports_sent += 1
+            obs = self.obs
+            if obs.enabled:
+                obs.metrics.counter(
+                    "monitor_reports_total",
+                    help="load reports sent, by host").inc(
+                        host=self.host.address)
+                obs.metrics.gauge(
+                    "host_cpu_load",
+                    help="last monitor-sampled CPU load").set(
+                        sample["cpu_load"], host=self.host.address)
 
     # -- local crash detection ----------------------------------------------
     def _crash_watch_loop(self):
@@ -84,6 +98,13 @@ class MonitorDaemon:
             if self.host.up == was_up:
                 continue
             was_up = self.host.up
+            obs = self.obs
+            if obs.enabled:
+                obs.metrics.counter(
+                    "monitor_transitions_total",
+                    help="locally observed up/down transitions").inc(
+                        host=self.host.address,
+                        kind="recovered" if self.host.up else "crashed")
             if not self.host.up:
                 self.transitions.append((self.env.now, "crashed"))
                 self.tracer.record(self.env.now, "mon:crashed",

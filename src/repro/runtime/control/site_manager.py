@@ -40,6 +40,7 @@ from repro.net import (
 )
 from repro.net.network import Network
 from repro.net.topology import Topology
+from repro.obs import OBS_OFF, Observability
 from repro.repository.site_repository import SiteRepository
 from repro.resources.site import Site
 from repro.runtime.control.group_manager import HOST_UP, GroupManager
@@ -89,7 +90,8 @@ class SiteManager:
     def __init__(self, env: Environment, network: Network, site: Site,
                  repository: SiteRepository, topology: Topology,
                  selection_timeout_s: float = 5.0,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 obs: Observability | None = None) -> None:
         self.env = env
         self.network = network
         self.site = site
@@ -97,6 +99,7 @@ class SiteManager:
         self.topology = topology
         self.selection_timeout_s = selection_timeout_s
         self.tracer = tracer or Tracer(enabled=False)
+        self.obs = obs if obs is not None else OBS_OFF
         self.address = f"{site.name}/server/{self.SERVICE}"
         self.mailbox = network.register(self.address)
         self.selector = HostSelector(repository)
@@ -144,6 +147,11 @@ class SiteManager:
         self.updates_applied += 1
         self.tracer.record(self.env.now, "sm:db-update", self.address,
                            host=sample["host"], load=sample["cpu_load"])
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "sm_db_updates_total",
+                help="repository workload updates applied").inc(
+                    site=self.site.name)
 
     def _on_host_down(self, msg) -> None:
         host = msg.payload["host"]
@@ -151,6 +159,11 @@ class SiteManager:
             self.repository.resource_performance.mark_down(host, self.env.now)
         self.tracer.record(self.env.now, "sm:host-down", self.address,
                            host=host)
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "sm_host_events_total",
+                help="host down/up notifications handled").inc(
+                    site=self.site.name, kind="down")
         # A host that died before acking its channels would block the
         # start signal forever; waive its ack for executions that have
         # not started (its tasks get rerouted by the host-down hook).
@@ -170,6 +183,11 @@ class SiteManager:
             self.repository.resource_performance.mark_up(host, self.env.now)
         self.tracer.record(self.env.now, "sm:host-up", self.address,
                            host=host)
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "sm_host_events_total",
+                help="host down/up notifications handled").inc(
+                    site=self.site.name, kind="up")
 
     # -- resource add/remove ("whenever a resource is added or removed") -----
     def resource_added(self, spec) -> None:
@@ -216,7 +234,7 @@ class SiteManager:
         request_id = f"{self.site.name}-req-{self._request_seq}"
         scheduler = SiteScheduler(self.site.name, self.topology,
                                   k_remote_sites=k_remote_sites,
-                                  queue_aware=queue_aware)
+                                  queue_aware=queue_aware, obs=self.obs)
         remote_sites = scheduler.select_remote_sites()
         pending = PendingSchedule(request_id=request_id, graph=graph,
                                   expected_sites=set(remote_sites),
@@ -373,6 +391,11 @@ class SiteManager:
                               size_bytes=32)
         self.tracer.record(self.env.now, "sm:start-signal", self.address,
                            execution=state.execution_id)
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "sm_start_signals_total",
+                help="execution start signals emitted").inc(
+                    site=self.site.name)
 
     # -- completion recording ---------------------------------------------------
     def _on_task_completed(self, msg) -> None:
@@ -381,6 +404,11 @@ class SiteManager:
         if state is None:
             return
         state.completed_tasks[payload["node_id"]] = payload
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "sm_tasks_completed_total",
+                help="task-completion reports recorded").inc(
+                    site=self.site.name)
         # Paper: newly measured execution times go into the task-
         # performance database after the application completes.
         tp = self.repository.task_performance

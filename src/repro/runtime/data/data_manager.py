@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.net import CHANNEL_ACK, CHANNEL_SETUP, TASK_DATA
 from repro.net.network import Network
+from repro.obs import OBS_OFF, Observability
 from repro.resources.host import Host
 from repro.runtime.data.conversion import conversion_cost_s, convert
 from repro.runtime.data.messaging import RetryPolicy
@@ -77,12 +78,14 @@ class DataManager:
     def __init__(self, env: Environment, network: Network, host: Host,
                  byte_orders: dict[str, str] | None = None,
                  tracer: Tracer | None = None,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 obs: Observability | None = None) -> None:
         self.env = env
         self.network = network
         self.host = host
         self.retry_policy = retry_policy or RetryPolicy()
         self.tracer = tracer or Tracer(enabled=False)
+        self.obs = obs if obs is not None else OBS_OFF
         self.address = f"{host.address}/{self.SERVICE}"
         self.mailbox = network.register(self.address)
         #: host address -> byte order, for conversion decisions; filled by
@@ -137,10 +140,16 @@ class DataManager:
         report it) or the link is partitioned beyond the retry horizon.
         """
         policy = self.retry_policy
+        obs = self.obs
         for attempt in range(1, policy.max_attempts + 1):
             ack = self.env.event()
             self._pending_acks[spec.key] = ack
             self.stats.setups_requested += 1
+            if obs.enabled:
+                obs.metrics.counter(
+                    "dm_setups_requested_total",
+                    help="channel-setup handshakes sent").inc(
+                        host=self.host.address)
             self.network.send(
                 self.address, f"{spec.dst_host}/{self.SERVICE}",
                 CHANNEL_SETUP,
@@ -152,10 +161,20 @@ class DataManager:
                 return True
             if attempt < policy.max_attempts:
                 self.stats.retries += 1
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "dm_setup_retries_total",
+                        help="channel-setup retries").inc(
+                            host=self.host.address)
                 self.tracer.record(self.env.now, "dm:retry", self.address,
                                    key=spec.key, attempt=attempt + 1,
                                    dst=spec.dst_host)
         self.stats.setups_abandoned += 1
+        if obs.enabled:
+            obs.metrics.counter(
+                "dm_setups_abandoned_total",
+                help="channel setups abandoned after retries").inc(
+                    host=self.host.address)
         self.tracer.record(self.env.now, "dm:setup-abandoned", self.address,
                            key=spec.key, dst=spec.dst_host,
                            attempts=policy.max_attempts)
@@ -236,12 +255,31 @@ class DataManager:
             yield self.env.timeout(cost)
         self.stats.data_messages_sent += 1
         self.stats.data_bytes_sent += size_bytes
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "dm_data_messages_total",
+                help="task-data messages shipped").inc(
+                    host=self.host.address)
+            obs.metrics.counter(
+                "dm_data_bytes_total",
+                help="task-data bytes shipped").inc(
+                    size_bytes, host=self.host.address)
         if spec.crosses_hosts:
+            if obs.enabled:
+                # Parent the resulting message-delivery span under the
+                # producing task.  send() is synchronous — no yields
+                # between set and reset — so the hand-off is exact even
+                # with many tasks in flight.
+                obs.current_parent = obs.spans.lookup(
+                    ("task", spec.execution_id, spec.src_node))
             self.network.send(self.address, f"{spec.dst_host}/{self.SERVICE}",
                               TASK_DATA,
                               payload={"key": spec.key, "value": value,
                                        "src_node": spec.src_node},
                               size_bytes=size_bytes)
+            if obs.enabled:
+                obs.current_parent = None
         else:
             # same machine: inter-process communication (pipes/shm), not
             # the network — modelled as immediate local delivery.  The

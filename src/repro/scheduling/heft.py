@@ -25,6 +25,7 @@ from typing import Callable
 
 from repro.afg.graph import ApplicationFlowGraph, TaskNode
 from repro.net.topology import Topology
+from repro.obs import OBS_OFF, Observability
 from repro.prediction.predict import PerformancePredictor
 from repro.repository.site_repository import SiteRepository
 from repro.scheduling.allocation import (
@@ -62,12 +63,13 @@ class HeftScheduler:
     def __init__(self, repositories: dict[str, SiteRepository],
                  topology: Topology,
                  predictor_factory: Callable[
-                     [SiteRepository], PerformancePredictor] | None = None
-                 ) -> None:
+                     [SiteRepository], PerformancePredictor] | None = None,
+                 obs: Observability | None = None) -> None:
         self.repositories = repositories
         self.topology = topology
         self._predictor_factory = predictor_factory or (
             lambda repo: PerformancePredictor(repo.task_performance))
+        self.obs = obs if obs is not None else OBS_OFF
 
     # -- candidate costs ------------------------------------------------------
     def _candidates(self, node: TaskNode) -> list[tuple[str, str, float]]:
@@ -152,4 +154,12 @@ class HeftScheduler:
             table.assign(AllocationEntry(
                 node_id=nid, task_name=node.task_name, site=site,
                 hosts=(host,), predicted_time_s=duration))
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "heft_schedules_total",
+                help="HEFT schedules computed").inc()
+            obs.metrics.counter(
+                "heft_tasks_placed_total",
+                help="tasks placed by HEFT").inc(float(len(table)))
         return table

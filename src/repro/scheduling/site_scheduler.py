@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.afg.graph import ApplicationFlowGraph
 from repro.net.topology import Topology
+from repro.obs import OBS_OFF, Observability
 from repro.scheduling.allocation import AllocationEntry, ResourceAllocationTable
 from repro.scheduling.host_selection import (
     HostChoice,
@@ -66,13 +67,15 @@ class SiteScheduler:
     """
 
     def __init__(self, local_site: str, topology: Topology,
-                 k_remote_sites: int = 2, queue_aware: bool = False) -> None:
+                 k_remote_sites: int = 2, queue_aware: bool = False,
+                 obs: Observability | None = None) -> None:
         if k_remote_sites < 0:
             raise SchedulingError("k_remote_sites must be >= 0")
         self.local_site = local_site
         self.topology = topology
         self.k = k_remote_sites
         self.queue_aware = queue_aware
+        self.obs = obs if obs is not None else OBS_OFF
 
     # -- step 2: neighbour selection ---------------------------------------
     def select_remote_sites(self) -> list[str]:
@@ -125,6 +128,16 @@ class SiteScheduler:
         if len(table) != len(graph):
             raise SchedulingError(
                 "scheduling walk did not cover every node (cycle?)")
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "sched_walks_total",
+                help="site-scheduler walks completed").inc(
+                    site=self.local_site)
+            obs.metrics.counter(
+                "sched_tasks_placed_total",
+                help="tasks placed by the site scheduler").inc(
+                    float(len(table)), site=self.local_site)
         return table, report
 
     def _assign(self, graph: ApplicationFlowGraph, node_id: str,

@@ -55,6 +55,23 @@ class Tracer:
         """Register a live callback invoked on every new record."""
         self._subscribers.append(callback)
 
+    def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Remove a previously subscribed callback (no-op if absent).
+
+        Without this, consumers sharing one tracer across runs (e.g. a
+        view re-attached per run) accumulate subscribers forever — every
+        record fans out to every stale callback of every earlier run.
+        """
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of live subscribers (leak probe for reused tracers)."""
+        return len(self._subscribers)
+
     def query(self, category: str | None = None,
               actor: str | None = None,
               since: float = float("-inf"),
@@ -76,6 +93,13 @@ class Tracer:
             out[rec.category] = out.get(rec.category, 0) + 1
         return out
 
-    def clear(self) -> None:
-        """Drop every record (subscribers stay registered)."""
+    def clear(self, subscribers: bool = False) -> None:
+        """Drop every record; with ``subscribers=True`` also drop those.
+
+        ``clear(subscribers=True)`` is the full reset for a tracer shared
+        across runs: records and the subscriber list both go, so a new
+        run starts with no stale fan-out targets.
+        """
         self.records.clear()
+        if subscribers:
+            self._subscribers.clear()

@@ -110,12 +110,31 @@ class WorkloadPlayer:
         while self.vdce.now < deadline and \
                 not all(p.triggered for p, _ in processes):
             self.vdce.run(until=min(self.vdce.now + step_s, deadline))
+        obs = self.vdce.obs
         for process, run in processes:
             report.runs.append(run)
             if process.triggered and run.status == "completed":
                 report.completed += 1
                 report.makespans.append(run.makespan)
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "player_completed_total",
+                        help="player applications completed").inc()
+                    obs.metrics.histogram(
+                        "player_makespan_seconds",
+                        help="completed-application makespans").observe(
+                            run.makespan)
             else:
                 report.timed_out += 1
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "player_timed_out_total",
+                        help="player applications not finished by the "
+                             "drain deadline").inc()
         report.horizon_s = self.vdce.now - start
+        if obs.enabled:
+            obs.metrics.counter(
+                "player_submitted_total",
+                help="player applications submitted").inc(
+                    float(report.submitted))
         return report

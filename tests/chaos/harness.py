@@ -19,6 +19,8 @@ import dataclasses
 from typing import Any
 
 from repro.faults import FaultPlan
+from repro.obs import Observability
+from repro.obs.export import chrome_trace_json
 from repro.util.errors import VDCEError
 from repro.workloads import linear_solver_graph, quiet_testbed
 
@@ -45,6 +47,7 @@ class ChaosOutcome:
     fault_log: str                      # canonical JSON, determinism probe
     plan: list[dict[str, Any]]          # the generated plan, serialised
     failed_processes: list[str]
+    chrome_trace: str | None = None     # Chrome trace_event JSON (obs runs)
 
 
 def group_leaders(vdce) -> set[str]:
@@ -69,10 +72,17 @@ def crash_candidates(vdce) -> list[str]:
 
 
 def run_chaos(seed: int, n: int = 200, horizon_s: float = 60.0,
-              max_sim_time_s: float = 2000.0,
+              max_sim_time_s: float = 2000.0, obs: bool = False,
               **plan_kwargs) -> ChaosOutcome:
-    """One seeded chaos run of the linear-solver pipeline."""
-    vdce = quiet_testbed(seed=seed)
+    """One seeded chaos run of the linear-solver pipeline.
+
+    With ``obs=True`` the run carries a live :class:`Observability`
+    handle and the outcome's ``chrome_trace`` holds the exported Chrome
+    ``trace_event`` JSON — the artifact CI uploads, and the probe the
+    determinism test compares byte-for-byte across same-seed runs.
+    """
+    observability = Observability() if obs else None
+    vdce = quiet_testbed(seed=seed, obs=observability)
     vdce.start()
     plan = FaultPlan.random(
         vdce.world.rng.stream("chaos-plan"), crash_candidates(vdce),
@@ -113,6 +123,9 @@ def run_chaos(seed: int, n: int = 200, horizon_s: float = 60.0,
         plan=plan.to_dicts(),
         failed_processes=[f"{name}: {exc!r}" for _, name, exc
                           in vdce.env.failed_processes],
+        chrome_trace=(chrome_trace_json(observability.spans.spans,
+                                        clock_end=vdce.now)
+                      if observability is not None else None),
     )
 
 

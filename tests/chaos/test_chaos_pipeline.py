@@ -1,8 +1,15 @@
 """Chaos suite: the end-to-end pipeline under randomized-but-seeded faults.
 
 Run separately from tier-1 in CI (``pytest tests/chaos``) with pinned
-``CHAOS_SEEDS`` so any flake is reproducible by seed.
+``CHAOS_SEEDS`` so any flake is reproducible by seed.  When
+``CHAOS_TRACE_ARTIFACT`` points at a directory, the observed runs also
+drop their Chrome ``trace_event`` exports there (CI uploads them as a
+workflow artifact, one file per seed).
 """
+
+import json
+import os
+from pathlib import Path
 
 from repro.faults import FaultPlan
 
@@ -31,6 +38,24 @@ class TestChaosDeterminism:
         assert first.status == second.status
         assert first.makespan == second.makespan
         assert first.reschedules == second.reschedules
+
+    def test_same_seed_byte_identical_chrome_trace(self, chaos_seed):
+        first = run_chaos(chaos_seed, obs=True)
+        second = run_chaos(chaos_seed, obs=True)
+        assert first.chrome_trace is not None
+        assert first.chrome_trace == second.chrome_trace  # byte-identical
+        doc = json.loads(first.chrome_trace)
+        assert doc["traceEvents"], "observed chaos run produced no events"
+        assert any(ev.get("ph") == "X" for ev in doc["traceEvents"])
+        artifact_dir = os.environ.get("CHAOS_TRACE_ARTIFACT")
+        if artifact_dir:
+            out = Path(artifact_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"chaos-trace-seed{chaos_seed}.json").write_text(
+                first.chrome_trace)
+
+    def test_unobserved_run_exports_nothing(self, chaos_seed):
+        assert run_chaos(chaos_seed).chrome_trace is None
 
     def test_different_seeds_produce_different_plans(self):
         # plans differ already at generation time; no need to run the sim

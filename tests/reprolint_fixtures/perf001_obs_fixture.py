@@ -1,0 +1,47 @@
+"""PERF001 fixture: guarded metric/span recording (obs guard idiom)."""
+
+
+def count_messages(obs, kind):
+    obs.metrics.counter("messages_total").inc(kind=kind)  # expect: PERF001
+    if obs.enabled:
+        obs.metrics.counter("messages_total").inc(kind=kind)
+
+
+def record_delay(self, delay, kind):
+    self._m_delay.observe(delay, kind=kind)  # expect: PERF001
+    if self.obs.enabled:
+        self._m_delay.observe(delay, kind=kind)
+
+
+def span_lifecycle(obs, now):
+    span = obs.spans.begin("t", "task-execution", "h", now)  # expect: PERF001
+    if obs.enabled:
+        span = obs.spans.begin("t", "task-execution", "h", now)
+        obs.spans.end(span, now + 1.0)
+    obs.spans.complete("m", "message-delivery", "h", now,  # expect: PERF001
+                       now + 0.5)
+    return span
+
+
+def set_gauge(observability, load, host):
+    if observability.enabled:
+        observability.metrics.gauge("host_cpu_load").set(load, host=host)
+    observability.metrics.gauge("host_cpu_load").set(  # expect: PERF001
+        load, host=host)
+
+
+def not_obs_calls(items, seen):
+    # same method names on non-obs receivers are NOT flagged: the
+    # receiver chain carries no obs marker
+    seen.add(items[0])
+    ordered = set()
+    ordered.add("x")
+    items.sort()
+    return ordered
+
+
+def guarded_in_loop(obs, hosts):
+    for host in hosts:
+        if obs.enabled:
+            obs.metrics.counter("hosts_seen_total").inc(host=host)
+        obs.metrics.counter("hosts_total").inc(host=host)  # expect: PERF001

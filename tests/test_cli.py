@@ -74,6 +74,43 @@ class TestCommands:
         assert "reduction" in out
 
 
+class TestObsCommand:
+    def test_report_sections(self, capsys):
+        assert main(["obs", "--app", "linear-solver", "--size", "40",
+                     "--idle", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "observability report" in out
+        assert "utilization" in out
+        assert "schedule latency" in out
+        assert "queue depths" in out
+        assert "span inventory" in out
+
+    def test_exports_written_and_valid(self, capsys, tmp_path):
+        import json
+        chrome = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        jsonl = tmp_path / "spans.jsonl"
+        assert main(["obs", "--app", "linear-solver", "--size", "40",
+                     "--idle", "--seed", "3",
+                     "--chrome", str(chrome), "--prom", str(prom),
+                     "--jsonl", str(jsonl)]) == 0
+        capsys.readouterr()
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        assert "vdce_apps_completed_total" in prom.read_text()
+        assert all(json.loads(line)
+                   for line in jsonl.read_text().splitlines())
+
+    def test_byte_identical_for_fixed_seed(self, capsys, tmp_path):
+        argv = ["obs", "--app", "fourier-pipeline", "--idle", "--seed", "5"]
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(argv + ["--chrome", str(a)]) == 0
+        assert main(argv + ["--chrome", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+
 class TestShowCommand:
     def test_show_renders_graph(self, capsys):
         assert main(["show", "--app", "linear-solver", "--size", "50"]) == 0

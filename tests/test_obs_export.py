@@ -1,0 +1,150 @@
+"""Exporter tests: Chrome trace_event schema, Prometheus text, JSONL.
+
+The Chrome schema check here is the acceptance gate for the trace
+export: every emitted event must satisfy the subset of the trace_event
+format that Perfetto / chrome://tracing actually requires to load a
+file (``traceEvents`` array; ``M`` metadata and ``X`` complete events
+with numeric non-negative ``ts``/``dur``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.export import (
+    chrome_trace_json,
+    spans_to_jsonl,
+    to_chrome_trace,
+    to_prometheus_text,
+)
+from repro.obs.spans import SpanTracker
+
+
+def assert_valid_chrome_trace(doc: dict) -> None:
+    """Schema check: the subset of trace_event that viewers require."""
+    assert isinstance(doc, dict)
+    assert isinstance(doc["traceEvents"], list)
+    for ev in doc["traceEvents"]:
+        assert ev["ph"] in ("M", "X")
+        assert isinstance(ev["pid"], int)
+        assert isinstance(ev["tid"], int)
+        assert isinstance(ev["name"], str) and ev["name"]
+        assert isinstance(ev.get("args", {}), dict)
+        if ev["ph"] == "X":
+            assert isinstance(ev["cat"], str)
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+            assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+
+
+def tracked_spans() -> SpanTracker:
+    st = SpanTracker()
+    app = st.begin("app", "application", "site", 0.0)
+    st.complete("sched", "schedule-round", "sm", 0.0, 0.25, parent_id=app,
+                sites=2, tasks=3)
+    t = st.begin("lu", "task-execution", "s/h1", 0.3, parent_id=app)
+    st.complete("data", "message-delivery", "s/h1/dm", 0.4, 0.6,
+                parent_id=t, bytes=4096)
+    st.end(t, 1.5, elapsed=1.2)
+    st.begin("late", "task-execution", "s/h2", 1.0, parent_id=app)  # open
+    return st
+
+
+class TestChromeTrace:
+    def test_schema_valid(self):
+        doc = to_chrome_trace(tracked_spans().spans, clock_end=2.0)
+        assert_valid_chrome_trace(doc)
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_metadata_names_process_and_threads(self):
+        doc = to_chrome_trace(tracked_spans().spans, clock_end=2.0)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[0] == {"ph": "M", "pid": 1, "tid": 0,
+                           "name": "process_name", "args": {"name": "vdce"}}
+        thread_names = [e["args"]["name"] for e in meta[1:]]
+        assert thread_names == sorted(thread_names)  # deterministic tids
+
+    def test_events_carry_causal_ids_in_args(self):
+        doc = to_chrome_trace(tracked_spans().spans, clock_end=2.0)
+        by_name = {e["name"]: e for e in doc["traceEvents"]
+                   if e["ph"] == "X"}
+        app_id = by_name["app"]["args"]["span_id"]
+        assert by_name["sched"]["args"]["parent_id"] == app_id
+        assert by_name["data"]["args"]["parent_id"] == \
+            by_name["lu"]["args"]["span_id"]
+        assert by_name["data"]["args"]["bytes"] == 4096
+
+    def test_timestamps_are_microseconds(self):
+        doc = to_chrome_trace(tracked_spans().spans, clock_end=2.0)
+        by_name = {e["name"]: e for e in doc["traceEvents"]
+                   if e["ph"] == "X"}
+        assert by_name["lu"]["ts"] == pytest.approx(0.3e6)
+        assert by_name["lu"]["dur"] == pytest.approx(1.2e6)
+
+    def test_open_span_flagged_and_extended_to_clock_end(self):
+        doc = to_chrome_trace(tracked_spans().spans, clock_end=2.0)
+        late = next(e for e in doc["traceEvents"] if e["name"] == "late")
+        assert late["args"]["open"] is True
+        assert late["dur"] == pytest.approx(1.0e6)
+
+    def test_json_is_canonical_and_reparseable(self):
+        st = tracked_spans()
+        text = chrome_trace_json(st.spans, clock_end=2.0)
+        assert text == chrome_trace_json(st.spans, clock_end=2.0)
+        assert " " not in text.split('"args"')[0]  # compact separators
+        assert_valid_chrome_trace(json.loads(text))
+
+    def test_empty_span_list_still_loads(self):
+        doc = to_chrome_trace([], clock_end=None)
+        assert_valid_chrome_trace(doc)
+        assert len(doc["traceEvents"]) == 1  # the process_name record
+
+
+class TestPrometheusText:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        c = reg.counter("msgs_total", help="messages")
+        c.inc(kind="data")
+        c.inc(2.0, kind="ctrl")
+        reg.gauge("load").set(0.75, host="h1")
+        h = reg.histogram("delay_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v, kind="data")
+        return reg
+
+    def test_exposition_structure(self):
+        text = to_prometheus_text(self._registry())
+        assert "# HELP msgs_total messages" in text
+        assert "# TYPE msgs_total counter" in text
+        assert 'msgs_total{kind="ctrl"} 2' in text
+        assert 'msgs_total{kind="data"} 1' in text
+        assert 'load{host="h1"} 0.75' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = to_prometheus_text(self._registry())
+        assert 'delay_seconds_bucket{kind="data",le="0.1"} 1' in text
+        assert 'delay_seconds_bucket{kind="data",le="1.0"} 2' in text
+        assert 'delay_seconds_bucket{kind="data",le="+Inf"} 3' in text
+        assert 'delay_seconds_sum{kind="data"} 5.55' in text
+        assert 'delay_seconds_count{kind="data"} 3' in text
+
+    def test_empty_registry_exports_empty_string(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_dump_is_byte_stable(self):
+        reg = self._registry()
+        assert to_prometheus_text(reg) == to_prometheus_text(reg)
+
+
+class TestSpanJsonl:
+    def test_one_canonical_line_per_span(self):
+        st = tracked_spans()
+        lines = spans_to_jsonl(st.spans).splitlines()
+        assert len(lines) == len(st.spans)
+        objs = [json.loads(line) for line in lines]
+        assert [o["span_id"] for o in objs] == \
+            [s.span_id for s in st.spans]
+        open_obj = next(o for o in objs if o["name"] == "late")
+        assert open_obj["end_s"] is None

@@ -1,0 +1,189 @@
+"""End-to-end observability: a real run through the instrumented stack.
+
+Drives the full VDCE pipeline with an :class:`Observability` handle
+attached and asserts the three tentpole properties together:
+
+* the causal span tree (application -> schedule-round / task-execution
+  -> message-delivery) reconstructs from parent ids;
+* the metrics cross-check against the independently maintained
+  ``network.stats`` / run bookkeeping;
+* every export is byte-identical across two identical-seed runs (the
+  determinism contract the exporters promise).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import OBS_OFF, Observability
+from repro.obs.export import (
+    chrome_trace_json,
+    spans_to_jsonl,
+    to_prometheus_text,
+)
+from repro.obs.report import (
+    latency_percentiles,
+    render_report,
+    sample_queue_depths,
+    schedule_latencies,
+    utilization,
+)
+from repro.workloads import quiet_testbed, random_layered_graph
+
+
+def observed_run(seed: int = 11):
+    """One instrumented queue-aware layered run (tasks spread cross-host)."""
+    obs = Observability()
+    vdce = quiet_testbed(seed=seed, obs=obs)
+    vdce.start()
+    graph = random_layered_graph(vdce.registry, layers=5, width=4, seed=3)
+    process, run = vdce.submit(graph, "syracuse", queue_aware=True)
+    deadline = vdce.now + 600.0
+    while not process.triggered and vdce.now < deadline:
+        vdce.run(until=min(vdce.now + 5.0, deadline))
+        sample_queue_depths(obs, vdce)
+    assert run.status == "completed"
+    return vdce, obs, run
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return observed_run()
+
+
+class TestCausalTree:
+    def test_single_application_root(self, observed):
+        _vdce, obs, run = observed
+        roots = obs.spans.children(None)
+        assert len(roots) == 1
+        (app,) = roots
+        assert app.category == "application"
+        assert app.attrs["execution_id"] == run.execution_id
+        assert app.finished
+
+    def test_schedule_round_and_tasks_parent_to_app(self, observed):
+        _vdce, obs, run = observed
+        (app,) = obs.spans.children(None)
+        rounds = obs.spans.by_category("schedule-round")
+        assert len(rounds) == 1
+        assert rounds[0].parent_id == app.span_id
+        tasks = obs.spans.by_category("task-execution")
+        assert {t.name for t in tasks} == set(run.completions)
+        assert all(t.parent_id == app.span_id for t in tasks)
+
+    def test_message_deliveries_parent_to_their_task(self, observed):
+        _vdce, obs, _run = observed
+        deliveries = obs.spans.by_category("message-delivery")
+        assert deliveries, "queue-aware layered run must move data"
+        task_ids = {t.span_id
+                    for t in obs.spans.by_category("task-execution")}
+        for d in deliveries:
+            assert d.parent_id in task_ids
+            assert d.finished and d.duration_s() > 0
+
+    def test_spans_start_after_their_parents(self, observed):
+        # parentage is causal, not containment: a message-delivery span
+        # begins after its producer task ends (outputs ship on task
+        # completion), so only start-ordering is invariant
+        _vdce, obs, _run = observed
+        for span in obs.spans.spans:
+            if span.parent_id is None:
+                continue
+            assert obs.spans.get(span.parent_id).start_s <= span.start_s
+
+    def test_no_spans_left_open(self, observed):
+        _vdce, obs, _run = observed
+        assert obs.spans.open_spans() == []
+
+
+class TestMetricsCrossCheck:
+    def test_network_counters_match_traffic_stats(self, observed):
+        vdce, obs, _run = observed
+        stats = vdce.world.network.stats
+        msgs = obs.metrics.get("net_messages_total")
+        assert msgs.total() == stats.messages
+        assert obs.metrics.get("net_bytes_total").total() == stats.bytes
+        for kind, n in stats.by_kind.items():
+            assert msgs.value(kind=kind) == n
+
+    def test_delivery_delay_histogram_counts_every_send(self, observed):
+        vdce, obs, _run = observed
+        stats = vdce.world.network.stats
+        hist = obs.metrics.get("net_delivery_delay_seconds")
+        delivered = stats.messages - stats.dropped
+        assert sum(s.count for _k, s in hist.samples()) == delivered
+
+    def test_task_counters_match_completions(self, observed):
+        _vdce, obs, run = observed
+        assert obs.metrics.get("ac_tasks_executed_total").total() == \
+            len(run.completions)
+        assert obs.metrics.get("vdce_apps_completed_total").total() == 1
+        assert obs.metrics.get("sched_tasks_placed_total").total() == \
+            len(run.completions)
+
+    def test_report_sections_consistent_with_spans(self, observed):
+        vdce, obs, _run = observed
+        util = utilization(obs.spans, clock_end=vdce.now)
+        actors = {t.actor for t in obs.spans.by_category("task-execution")}
+        assert set(util) == actors
+        assert all(0.0 <= u <= 1.0 for u in util.values())
+        lats = schedule_latencies(obs.spans)
+        pcts = latency_percentiles(lats)
+        assert pcts[50.0] <= pcts[90.0] <= pcts[99.0]
+        text = render_report(obs, clock_end=vdce.now)
+        for section in ("utilization", "schedule latency", "queue depths",
+                        "span inventory", "metric inventory"):
+            assert section in text
+
+
+class TestDeterminism:
+    def test_exports_byte_identical_across_runs(self, observed):
+        vdce_a, obs_a, _ = observed
+        vdce_b, obs_b, _ = observed_run()
+        assert chrome_trace_json(obs_a.spans.spans, clock_end=vdce_a.now) \
+            == chrome_trace_json(obs_b.spans.spans, clock_end=vdce_b.now)
+        assert to_prometheus_text(obs_a.metrics) \
+            == to_prometheus_text(obs_b.metrics)
+        assert spans_to_jsonl(obs_a.spans.spans) \
+            == spans_to_jsonl(obs_b.spans.spans)
+        assert render_report(obs_a, clock_end=vdce_a.now) \
+            == render_report(obs_b, clock_end=vdce_b.now)
+
+    def test_different_seed_changes_the_trace(self, observed):
+        vdce_a, obs_a, _ = observed
+        vdce_b, obs_b, _ = observed_run(seed=12)
+        assert chrome_trace_json(obs_a.spans.spans, clock_end=vdce_a.now) \
+            != chrome_trace_json(obs_b.spans.spans, clock_end=vdce_b.now)
+
+
+class TestDisabledObservability:
+    def test_disabled_handle_records_nothing(self):
+        obs = Observability(enabled=False)
+        vdce = quiet_testbed(seed=11, obs=obs)
+        vdce.start()
+        graph = random_layered_graph(vdce.registry, layers=3, width=2,
+                                     seed=3)
+        run = vdce.run_application(graph, "syracuse", max_sim_time_s=600,
+                                   queue_aware=True)
+        assert run.status == "completed"
+        assert len(obs.spans) == 0
+        # instruments exist (pre-registered) but hold no samples
+        assert all(not m.samples() for m in obs.metrics.collect())
+
+    def test_default_vdce_uses_shared_inert_handle(self):
+        vdce = quiet_testbed(seed=11)
+        assert vdce.obs is OBS_OFF
+        assert not OBS_OFF.enabled
+
+    def test_run_unperturbed_by_observation(self):
+        # same seed, obs on vs off: identical makespans (no heisenbugs)
+        _vdce, _obs, run_on = observed_run()
+        vdce = quiet_testbed(seed=11)
+        vdce.start()
+        graph = random_layered_graph(vdce.registry, layers=5, width=4,
+                                     seed=3)
+        run_off = vdce.run_application(graph, "syracuse",
+                                       max_sim_time_s=600,
+                                       queue_aware=True)
+        assert run_off.status == "completed"
+        assert run_off.makespan == pytest.approx(run_on.makespan)

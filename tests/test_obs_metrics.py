@@ -1,0 +1,135 @@
+"""Unit tests for the deterministic metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_DEPTH_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        c = Counter("messages_total")
+        c.inc(kind="data")
+        c.inc(2.0, kind="data")
+        c.inc(kind="ctrl")
+        assert c.value(kind="data") == 3.0
+        assert c.value(kind="ctrl") == 1.0
+        assert c.value(kind="never") == 0.0
+        assert c.total() == 4.0
+
+    def test_label_keyword_order_is_irrelevant(self):
+        c = Counter("x_total")
+        c.inc(a="1", b="2")
+        c.inc(b="2", a="1")
+        assert c.value(a="1", b="2") == 2.0
+        assert len(c.samples()) == 1
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_samples_sorted_by_label_key(self):
+        c = Counter("x_total")
+        c.inc(host="h9")
+        c.inc(host="h1")
+        c.inc(host="h5")
+        keys = [key for key, _ in c.samples()]
+        assert keys == sorted(keys)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name!")
+
+
+class TestGauge:
+    def test_set_overwrites_add_accumulates(self):
+        g = Gauge("load")
+        g.set(0.5, host="h1")
+        g.set(0.7, host="h1")
+        assert g.value(host="h1") == 0.7
+        g.add(0.1, host="h1")
+        assert g.value(host="h1") == pytest.approx(0.8)
+
+    def test_add_may_go_negative(self):
+        g = Gauge("delta")
+        g.add(-2.5)
+        assert g.value() == -2.5
+
+
+class TestHistogram:
+    def test_le_boundaries_are_upper_inclusive(self):
+        h = Histogram("d", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 5.0, 99.0):
+            h.observe(v)
+        s = h.series()
+        # 0.5 and 1.0 -> le=1.0; 1.5 and 2.0 -> le=2.0; 5.0 -> le=5.0;
+        # 99.0 -> +Inf overflow
+        assert s.bucket_counts == [2, 2, 1, 1]
+        assert s.count == 6
+        assert s.sum == pytest.approx(109.0)
+        assert s.min == 0.5 and s.max == 99.0
+        assert s.mean == pytest.approx(109.0 / 6)
+
+    def test_series_partitioned_by_labels(self):
+        h = Histogram("d", buckets=(1.0,))
+        h.observe(0.5, host="a")
+        h.observe(0.5, host="b")
+        assert h.series(host="a").count == 1
+        assert h.series(host="missing") is None
+        assert len(h.samples()) == 2
+
+    def test_non_increasing_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("d", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("d", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("d", buckets=())
+
+    def test_default_bucket_tables_are_strictly_increasing(self):
+        for bounds in (DEFAULT_TIME_BUCKETS, DEFAULT_DEPTH_BUCKETS):
+            assert list(bounds) == sorted(set(bounds))
+
+
+class TestMetricsRegistry:
+    def test_factories_are_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", help="x")
+        b = reg.counter("x_total")
+        assert a is b
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_histogram_boundary_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_collect_sorted_by_name(self):
+        reg = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            reg.counter(name)
+        assert [m.name for m in reg.collect()] == ["alpha", "mid", "zeta"]
+        assert len(reg) == 3
+
+    def test_clear_empties_the_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.get("x") is None

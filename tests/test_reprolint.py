@@ -56,6 +56,7 @@ def run_rule(rule: str, path: Path) -> list[Finding]:
     ("INV001", "inv001_fixture.py"),
     ("SIM001", "sim001_fixture.py"),
     ("PERF001", "perf001_fixture.py"),
+    ("PERF001", "perf001_obs_fixture.py"),
 ])
 def test_fixture_findings_exact(rule: str, fixture: str) -> None:
     path = FIXTURES / fixture
@@ -97,7 +98,8 @@ def test_cli_nonzero_with_correct_rule_ids_on_fixtures() -> None:
                           ("DET002", "det002_fixture.py"),
                           ("INV001", "inv001_fixture.py"),
                           ("SIM001", "sim001_fixture.py"),
-                          ("PERF001", "perf001_fixture.py")]:
+                          ("PERF001", "perf001_fixture.py"),
+                          ("PERF001", "perf001_obs_fixture.py")]:
         for line in expectations(FIXTURES / fixture, rule):
             assert (fixture, line, rule) in found, (
                 f"CLI missed {rule} at {fixture}:{line}")

@@ -2,9 +2,12 @@
 """Wall-clock performance report for the reproduction's hot paths.
 
 Runs the substrate micro-benchmarks (event kernel, store handoff,
-prediction sweep, scheduler walk) plus two end-to-end workloads (the
-linear solver and a layered random graph) and writes ``BENCH_perf.json``
-with ops/s, wall seconds, and an environment fingerprint.
+prediction sweep, scheduler walk), two end-to-end workloads (the linear
+solver and a layered random graph), and an observability-overhead pair
+(the solver with a disabled / enabled ``repro.obs`` handle), then writes
+``BENCH_perf.json`` with ops/s, wall seconds, and an environment
+fingerprint.  ``--check`` also enforces the same-run obs-overhead gate:
+a disabled ``Observability`` must be near-free.
 
 Usage::
 
@@ -36,6 +39,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs import Observability  # noqa: E402
 from repro.prediction import PerformancePredictor, register_tasks  # noqa: E402
 from repro.repository import ResourcePerformanceDB, TaskPerformanceDB  # noqa: E402
 from repro.resources import HostSpec  # noqa: E402
@@ -168,6 +172,41 @@ def bench_e2e_layered_graph(scale: int) -> int:
     return ops
 
 
+def bench_e2e_obs_disabled(scale: int) -> int:
+    """bench_e2e_linear_solver with an attached-but-disabled obs handle.
+
+    Mirrors ``e2e_linear_solver`` exactly apart from the explicit
+    ``Observability(enabled=False)``, so the ratio of the two measures
+    what a wired-but-off observability layer costs on the hot paths
+    (the guarded-call contract says: one attribute load per site).
+    """
+    ops = 0
+    for seed in range(scale):
+        vdce = quiet_testbed(seed=63 + seed, trace=False,
+                             obs=Observability(enabled=False))
+        vdce.start()
+        graph = linear_solver_graph(vdce.registry, n=40)
+        run = vdce.run_application(graph, "syracuse", max_sim_time_s=600)
+        assert run.status == "completed"
+        ops += len(run.completions)
+    return ops
+
+
+def bench_e2e_obs_enabled(scale: int) -> int:
+    """Same workload with full metric/span recording switched on."""
+    ops = 0
+    for seed in range(scale):
+        obs = Observability()
+        vdce = quiet_testbed(seed=63 + seed, trace=False, obs=obs)
+        vdce.start()
+        graph = linear_solver_graph(vdce.registry, n=40)
+        run = vdce.run_application(graph, "syracuse", max_sim_time_s=600)
+        assert run.status == "completed"
+        assert len(obs.spans) > 0 and obs.metrics.collect()
+        ops += len(run.completions)
+    return ops
+
+
 #: name -> (callable, scale, repeats).  Wall time is the best (minimum)
 #: of the repeats, so scheduler warm-up and allocator noise do not count.
 BENCHMARKS = {
@@ -177,7 +216,15 @@ BENCHMARKS = {
     "scheduler_walk": (bench_scheduler_walk, 3, 3),
     "e2e_linear_solver": (bench_e2e_linear_solver, 10, 3),
     "e2e_layered_graph": (bench_e2e_layered_graph, 10, 3),
+    "e2e_obs_disabled": (bench_e2e_obs_disabled, 10, 3),
+    "e2e_obs_enabled": (bench_e2e_obs_enabled, 10, 3),
 }
+
+#: Same-run obs-overhead gate: ``e2e_obs_disabled`` must stay within
+#: this fraction of ``e2e_linear_solver`` throughput.  Both numbers come
+#: from the same process and machine, so hardware noise largely cancels
+#: and the bound can be much tighter than the cross-run TOLERANCE.
+OBS_OVERHEAD_TOLERANCE = 0.15
 
 
 # ---------------------------------------------------------------------------
@@ -247,6 +294,24 @@ def check_regressions(fresh: dict, baseline_path: Path,
     return failures
 
 
+def check_obs_overhead(fresh: dict,
+                       tolerance: float = OBS_OVERHEAD_TOLERANCE
+                       ) -> list[str]:
+    """Same-run relative gate: disabled obs must be near-free."""
+    base = fresh.get("e2e_linear_solver")
+    off = fresh.get("e2e_obs_disabled")
+    if base is None or off is None:
+        return []
+    floor = base["ops_per_s"] * (1.0 - tolerance)
+    if off["ops_per_s"] < floor:
+        return [
+            f"e2e_obs_disabled: {off['ops_per_s']:,.0f} ops/s < floor "
+            f"{floor:,.0f} ({tolerance:.0%} of same-run "
+            f"e2e_linear_solver {base['ops_per_s']:,.0f}); a disabled "
+            "Observability handle must cost ~one attribute load"]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", "-o", type=Path,
@@ -269,11 +334,21 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
 
+    base = benchmarks.get("e2e_linear_solver")
+    off = benchmarks.get("e2e_obs_disabled")
+    on = benchmarks.get("e2e_obs_enabled")
+    if base and off and on:
+        print(f"obs overhead: disabled "
+              f"{1.0 - off['ops_per_s'] / base['ops_per_s']:+.1%}, "
+              f"enabled {1.0 - on['ops_per_s'] / base['ops_per_s']:+.1%} "
+              "vs uninstrumented e2e (same run)")
+
     if args.check is not None:
         if not args.check.exists():
             print(f"no baseline at {args.check}; nothing to compare")
             return 0
         failures = check_regressions(benchmarks, args.check, args.tolerance)
+        failures += check_obs_overhead(benchmarks)
         if failures:
             print("PERF REGRESSION:")
             for f in failures:

@@ -1,15 +1,22 @@
-"""PERF001: hot-path hygiene in the kernel and the network send path.
+"""PERF001: hot-path hygiene in the kernel, network and scheduler paths.
 
 PR 2 measured two things that matter on the hot path: instance dict
 lookups (hence ``__slots__`` on every kernel class) and tracer overhead
 when tracing is off (hence every ``tracer.record`` behind an
-``if tracer.enabled`` guard).  This checker keeps both properties from
-regressing in the two files where they were earned:
+``if tracer.enabled`` guard).  The observability subsystem (``repro.obs``)
+adds a third: metric/span recording, which must follow the same guard
+idiom so a disabled :class:`~repro.obs.Observability` costs one attribute
+load.  This checker keeps all three properties from regressing in the
+files where they were earned:
 
 * a class without ``__slots__`` in a module where sibling classes have
   them (dataclasses and exception types are exempt);
 * a ``…tracer.record(...)`` call not enclosed in an ``if`` whose test
-  consults ``.enabled``.
+  consults ``.enabled``;
+* a metric/span recording call (``inc``/``set``/``add``/``observe`` /
+  ``begin``/``end``/``complete`` on an obs-rooted receiver — ``obs.…``,
+  ``….metrics``/``.spans``, or an ``_m_*`` instrument handle) outside
+  such a guard.
 """
 
 from __future__ import annotations
@@ -21,12 +28,18 @@ from tools.reprolint.core import Checker
 _EXC_BASES = ("Exception", "BaseException", "RuntimeError", "ValueError",
               "KeyError", "TypeError")
 
+#: recording entry points of repro.obs instruments and span trackers
+_OBS_RECORD_METHODS = frozenset(
+    {"inc", "set", "add", "observe", "begin", "end", "complete"})
+
 
 class HotPathHygieneChecker(Checker):
     rule = "PERF001"
     description = ("hot-path files: __slots__ parity and guarded "
-                   "tracer calls")
-    path_filters = ("repro/simcore/engine.py", "repro/net/network.py")
+                   "tracer/metric/span calls")
+    path_filters = ("repro/simcore/engine.py", "repro/net/network.py",
+                    "repro/scheduling/site_scheduler.py",
+                    "repro/scheduling/heft.py")
     default_config: dict[str, object] = {}
 
     # -- __slots__ parity --------------------------------------------------
@@ -97,13 +110,19 @@ class HotPathHygieneChecker(Checker):
             # a for/while/with/try is still honoured)
             for expr in self._immediate_exprs(stmt):
                 for child in ast.walk(expr):
-                    if isinstance(child, ast.Call) \
-                            and self._is_tracer_record(child) \
-                            and not guarded:
+                    if not isinstance(child, ast.Call) or guarded:
+                        continue
+                    if self._is_tracer_record(child):
                         self.report(child, (
                             "tracer.record() outside an `if "
                             "tracer.enabled` guard pays dict/append cost "
                             "on every send even with tracing off"))
+                    elif self._is_obs_record(child):
+                        self.report(child, (
+                            "metric/span recording outside an `if "
+                            "obs.enabled` guard pays dict/label cost on "
+                            "every hot-path pass even with observability "
+                            "off"))
             for attr in ("body", "orelse", "finalbody"):
                 inner = getattr(stmt, attr, None)
                 if isinstance(inner, list) and inner \
@@ -145,4 +164,32 @@ class HotPathHygieneChecker(Checker):
             return "tracer" in value.id
         if isinstance(value, ast.Attribute):
             return "tracer" in value.attr
+        return False
+
+    @staticmethod
+    def _is_obs_record(node: ast.Call) -> bool:
+        """A recording call on an obs-rooted receiver.
+
+        Matches ``obs.metrics.counter(...).inc(...)``, ``obs.spans.
+        begin(...)``, and prebound instrument handles like
+        ``self._m_messages.observe(...)`` — but not ordinary methods
+        that happen to share a name (``some_set.add``,
+        ``intervals.append``), because the receiver chain must mention
+        an obs marker.
+        """
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _OBS_RECORD_METHODS):
+            return False
+        for part in ast.walk(func.value):
+            name = None
+            if isinstance(part, ast.Name):
+                name = part.id
+            elif isinstance(part, ast.Attribute):
+                name = part.attr
+            if name is None:
+                continue
+            if name == "obs" or name.startswith(("obs", "_m_")) or \
+                    name in ("metrics", "spans"):
+                return True
         return False
