@@ -32,6 +32,7 @@ from repro.net import EXECUTION_REQUEST
 from repro.net.topology import LinkSpec
 from repro.obs import OBS_OFF, Observability
 from repro.prediction.calibration import calibrate_weights
+from repro.recovery import RecoveryCoordinator
 from repro.repository.site_repository import SiteRepository
 from repro.resources.failures import FailureInjector
 from repro.resources.groundtruth import ExecutionModel
@@ -81,6 +82,8 @@ class VDCE:
         self.reschedule_policy = reschedule_policy or ReschedulePolicy()
         self.failures = FailureInjector(self.world.env, self.world.tracer)
         self.fault_injector: FaultInjector | None = None
+        #: failover brain, created lazily by :meth:`enable_failover`
+        self.recovery: RecoveryCoordinator | None = None
         self.repositories: dict[str, SiteRepository] = {}
         self.site_managers: dict[str, SiteManager] = {}
         self.group_managers: dict[tuple[str, str], GroupManager] = {}
@@ -230,6 +233,8 @@ class VDCE:
                     obs=self.obs)
                 dm = DataManager(self.env, self.network, host,
                                  byte_orders=self._byte_orders,
+                                 retry_rng=self.world.rng.stream(
+                                     "retry-jitter"),
                                  tracer=self.tracer, obs=self.obs)
                 self.data_managers[host.address] = dm
                 self.app_controllers[host.address] = ApplicationController(
@@ -422,6 +427,77 @@ class VDCE:
                     "reason": "host-down",
                 })
 
+    # -- self-healing control plane (server failover) -----------------------------
+    def enable_failover(self, site: str, standby_hosts: list[str],
+                        heartbeat_period_s: float = 2.0,
+                        miss_limit: int = 3,
+                        promote_grace_s: float = 2.0) -> RecoveryCoordinator:
+        """Replicate *site*'s server state onto *standby_hosts*.
+
+        Every mutating Site Manager operation is write-ahead-logged and
+        shipped to the standbys; if the server machine goes silent for
+        ``miss_limit`` heartbeat periods, the lowest-address live standby
+        promotes itself (after its rank-staggered grace), rebuilds the
+        execution state from the log, and in-flight applications finish
+        exactly once.  May be enabled per site; returns the shared
+        :class:`~repro.recovery.RecoveryCoordinator`.
+        """
+        if not self._started:
+            raise ConfigurationError(
+                "start() the VDCE before enable_failover")
+        if site not in self.site_managers:
+            raise ConfigurationError(f"unknown site {site!r}")
+        if self.recovery is None:
+            self.recovery = RecoveryCoordinator(
+                self.env, self.network, self.topology,
+                tracer=self.tracer, obs=self.obs)
+            self.recovery.on_promoted = self._on_server_promoted
+            self.recovery.on_host_down = self._handle_host_down
+        self.recovery.enable_site(
+            self.world.site(site), self.site_managers[site],
+            standby_hosts, self.monitors,
+            heartbeat_period_s=heartbeat_period_s,
+            miss_limit=miss_limit, promote_grace_s=promote_grace_s)
+        return self.recovery
+
+    def _on_server_promoted(self, site_name: str, old_sm: SiteManager,
+                            new_sm: SiteManager) -> None:
+        """Swap the facade's manager map and heal in-flight work.
+
+        The coordinator already re-pushed the WAL's original
+        allocations; here every incomplete task of this site's active
+        runs is additionally re-issued at its *current* table
+        assignment, which covers reschedules the log never saw (their
+        immediate pushes were sent from the dead server's role address
+        and dropped).  Application Controllers dedup by (execution,
+        node), so the overlap is harmless.
+        """
+        self.site_managers[site_name] = new_sm
+        for execution_id in sorted(self._active_runs):
+            run = self._active_runs[execution_id]
+            if run.status != "running" or run.table is None:
+                continue
+            if run.report is not None and \
+                    run.report.local_site != site_name:
+                continue
+            for node_id in sorted(run.table.entries):
+                if node_id in run.completions:
+                    continue
+                entry = run.table.get(node_id)
+                fresh = SiteManager._entry_payload(entry, run.graph,
+                                                   run.table)
+                self.network.send(
+                    new_sm.address, f"{entry.host}/appctl",
+                    EXECUTION_REQUEST,
+                    payload={"application": run.graph.name,
+                             "execution_id": execution_id,
+                             "entries": [fresh],
+                             "coordinator": new_sm.address,
+                             "immediate": True},
+                    size_bytes=256)
+        self.tracer.record(self.now, "vdce:failover", new_sm.address,
+                           site=site_name)
+
     # -- fault injection ---------------------------------------------------------
     def apply_fault_plan(self, plan: FaultPlan) -> FaultInjector:
         """Install a :class:`~repro.faults.FaultPlan` on this federation.
@@ -436,6 +512,7 @@ class VDCE:
                 self.env, self.network, tracer=self.tracer,
                 rng=self.world.rng.stream("faults"),
                 host_resolver=self.world.host,
+                site_resolver=self.world.site,
                 site_hosts=lambda s: list(self.world.site(s).hosts.values()))
         self.fault_injector.install(plan)
         return self.fault_injector
@@ -464,5 +541,7 @@ class VDCE:
             gm.stop()
         for sm in self.site_managers.values():
             sm.stop()
+        if self.recovery is not None:
+            self.recovery.stop()
         for model in self.load_models:
             model.stop()

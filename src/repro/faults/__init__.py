@@ -14,6 +14,7 @@ from repro.faults.plan import (
     LinkDegradation,
     LinkPartition,
     MessageFaults,
+    ServerCrash,
     SiteOutage,
 )
 
@@ -21,6 +22,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "HostCrash",
+    "ServerCrash",
     "SiteOutage",
     "LinkPartition",
     "LinkDegradation",

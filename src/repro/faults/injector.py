@@ -30,6 +30,7 @@ from repro.faults.plan import (
     LinkDegradation,
     LinkPartition,
     MessageFaults,
+    ServerCrash,
     SiteOutage,
 )
 from repro.net.message import Message
@@ -51,6 +52,7 @@ class FaultInjector:
                  rng: np.random.Generator | None = None,
                  host_resolver: Callable[[str], Host] | None = None,
                  site_hosts: Callable[[str], Iterable[Host]] | None = None,
+                 site_resolver: Callable[[str], Any] | None = None,
                  ) -> None:
         self.env = env
         self.network = network
@@ -58,6 +60,7 @@ class FaultInjector:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._host_resolver = host_resolver
         self._site_hosts = site_hosts
+        self._site_resolver = site_resolver
         self.plans: list[FaultPlan] = []
         #: canonical log of every fault actually injected (see log_json)
         self.events: list[dict[str, Any]] = []
@@ -83,6 +86,8 @@ class FaultInjector:
                 self._schedule_host_crash(spec)
             elif isinstance(spec, SiteOutage):
                 self._schedule_site_outage(spec)
+            elif isinstance(spec, ServerCrash):
+                self._schedule_server_crash(spec)
             else:
                 self._windows.append(spec)
         if self._windows and not self._hook_installed:
@@ -157,6 +162,27 @@ class FaultInjector:
                 self._record("site-up", site=spec.site, hosts=len(hosts))
 
         self.env.process(proc(self.env), name=f"fault:outage:{spec.site}")
+
+    def _schedule_server_crash(self, spec: ServerCrash) -> None:
+        if self._site_resolver is None:
+            raise ConfigurationError(
+                "injector has no site resolver; server crashes need one "
+                "(the VDCE facade wires it via apply_fault_plan)")
+        site = self._site_resolver(spec.site)
+
+        def proc(env):
+            yield env.timeout(spec.at - env.now)
+            site.server_up = False
+            self._record("server-down", site=spec.site)
+            if spec.recover_after is not None:
+                yield env.timeout(spec.recover_after)
+                # the dedicated machine comes back; if a failover already
+                # moved the server role onto a standby it stays there
+                site.server_up = True
+                self._record("server-up", site=spec.site,
+                             role_moved=site.server_role_host is not None)
+
+        self.env.process(proc(self.env), name=f"fault:server:{spec.site}")
 
     # -- the Network.send hook ----------------------------------------------
     def _on_message(self, msg: Message) -> FaultAction | None:

@@ -33,6 +33,13 @@ CHANNEL_ACK = "channel-ack"            # proxy -> Application Controller
 START_SIGNAL = "start-signal"          # Site Manager -> controllers
 TASK_DATA = "task-data"                # proxy -> proxy (inter-task data)
 
+# Message kinds used by the recovery subsystem (repro.recovery): the
+# write-ahead log shipped to standby hosts and the server heartbeat the
+# standbys watch to decide a failover.
+WAL_APPEND = "wal-append"              # Site Manager -> standby replicas
+SERVER_HEARTBEAT = "server-heartbeat"  # server -> standby replicas
+SERVER_PROMOTED = "server-promoted"    # new server -> standby replicas
+
 
 @dataclass(frozen=True)
 class Message:

@@ -139,6 +139,20 @@ def render_report(obs: Any, clock_end: float | None = None) -> str:
         lines.append("  (no queue samples; run with sampling enabled)")
 
     lines.append("")
+    lines.append("-- robustness (retries / timeouts / failovers) --")
+    any_robustness = False
+    for name in ("retries_total", "delivery_timeouts_total",
+                 "failovers_total"):
+        metric = obs.metrics.get(name)
+        if metric is None:
+            continue
+        total = sum(value for _, value in metric.samples())
+        lines.append(f"  {name:<28} {int(total):>6d}")
+        any_robustness = True
+    if not any_robustness:
+        lines.append("  (no retries, timeouts or failovers recorded)")
+
+    lines.append("")
     lines.append("-- span inventory --")
     counts: dict[str, int] = {}
     for span in obs.spans.spans:

@@ -29,9 +29,11 @@ from typing import Any
 
 from repro.simcore.trace import Tracer
 
-#: the canonical span hierarchy, outermost first
+#: the canonical span hierarchy, outermost first; "failover" spans sit
+#: outside the application tree (they time a control-plane promotion,
+#: suspicion -> promoted, see repro.recovery)
 SPAN_CATEGORIES = ("application", "schedule-round", "task-execution",
-                   "message-delivery")
+                   "message-delivery", "failover")
 
 _CATEGORY_SET = frozenset(SPAN_CATEGORIES)
 

@@ -1,0 +1,183 @@
+"""Log shipping: the active server's side and the standby's side.
+
+The :class:`ReplicationShipper` hangs off a live
+:class:`~repro.runtime.control.site_manager.SiteManager` (as its
+``replication`` attribute): every mutating operation calls
+:meth:`ReplicationShipper.log`, which appends to the local
+:class:`~repro.recovery.wal.WriteAheadLog` and ships the record to every
+standby as a ``wal-append`` message over the ordinary simulated network.
+A dead server ships nothing — its ``site/server`` source address drops
+all traffic — which is exactly the failure semantics the standbys must
+tolerate.
+
+The :class:`StandbyReplica` daemon runs on a standby *host* (so it dies
+with the host, like any other daemon).  It applies repository-kind
+records eagerly to its own :class:`SiteRepository` copy (seeded from a
+snapshot when failover was enabled), buffers execution-kind records for
+replay at promotion, and tracks the server heartbeat for the failure
+detector in :mod:`repro.recovery.failover`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net import SERVER_HEARTBEAT, SERVER_PROMOTED, WAL_APPEND
+from repro.net.network import Network
+from repro.obs import OBS_OFF, Observability
+from repro.recovery.wal import WalRecord, WriteAheadLog
+from repro.repository.site_repository import SiteRepository
+from repro.resources.host import Host
+from repro.resources.site import Site
+from repro.simcore.engine import Environment
+from repro.simcore.trace import Tracer
+
+
+class ReplicationShipper:
+    """Active-server side: append locally, ship to every standby."""
+
+    def __init__(self, env: Environment, network: Network,
+                 src_address: str, standby_addrs: list[str],
+                 start_lsn: int = 0,
+                 tracer: Tracer | None = None) -> None:
+        self.env = env
+        self.network = network
+        self.src_address = src_address
+        self.standby_addrs = sorted(standby_addrs)
+        self.wal = WriteAheadLog(start_lsn=start_lsn)
+        self.tracer = tracer or Tracer(enabled=False)
+
+    def log(self, kind: str, payload: dict[str, Any]) -> WalRecord:
+        """Record one mutation and ship it to the standbys."""
+        record = self.wal.append(kind, payload, t=self.env.now)
+        for standby in self.standby_addrs:
+            self.network.send(
+                self.src_address, standby, WAL_APPEND,
+                payload={"lsn": record.lsn, "t": record.t,
+                         "kind": record.kind, "data": record.payload},
+                size_bytes=192)
+        return record
+
+
+class StandbyReplica:
+    """Standby-host side: replica repository + buffered execution log."""
+
+    SERVICE = "standby"
+
+    def __init__(self, env: Environment, network: Network, host: Host,
+                 site: Site, repository: SiteRepository,
+                 tracer: Tracer | None = None,
+                 obs: Observability | None = None) -> None:
+        self.env = env
+        self.network = network
+        self.host = host
+        self.site = site
+        #: this standby's own repository copy (snapshot at enable time,
+        #: then rolled forward by shipped repository-kind records)
+        self.repository = repository
+        self.tracer = tracer or Tracer(enabled=False)
+        self.obs = obs if obs is not None else OBS_OFF
+        self.address = f"{host.address}/{self.SERVICE}"
+        self.mailbox = network.register(self.address)
+        #: shipped records by LSN (a dict, not a list: duplicates from
+        #: message faults overwrite idempotently, gaps stay visible)
+        self.records: dict[int, WalRecord] = {}
+        #: (execution_id, node_id) pairs whose task-performance effect
+        #: was already applied — replays and duplicates are skipped
+        self._perf_applied: set[tuple[str, str]] = set()
+        #: simulated time the last server heartbeat arrived
+        self.last_heartbeat = env.now
+        #: set False once this replica (or a peer) was promoted
+        self.active = True
+        #: failure-detector state, attached by the coordinator
+        self.tracker: Any = None
+        self._inbox_proc = env.process(self._inbox_loop(),
+                                       name=f"standby:{self.address}")
+
+    # -- inbox ------------------------------------------------------------
+    def _inbox_loop(self):
+        while True:
+            msg = yield self.mailbox.get()
+            if msg.kind == WAL_APPEND:
+                self._on_wal_append(msg.payload)
+            elif msg.kind == SERVER_HEARTBEAT:
+                self.last_heartbeat = self.env.now
+            elif msg.kind == SERVER_PROMOTED:
+                # a peer won the promotion; reset suspicion and follow
+                # the new server's heartbeats
+                self.last_heartbeat = self.env.now
+
+    def _on_wal_append(self, payload: dict[str, Any]) -> None:
+        record = WalRecord(lsn=payload["lsn"], t=payload["t"],
+                           kind=payload["kind"], payload=payload["data"])
+        known = record.lsn in self.records
+        self.records[record.lsn] = record
+        if not known:
+            self.apply_record(record)
+
+    # -- eager application --------------------------------------------------
+    def apply_record(self, record: WalRecord) -> None:
+        """Roll the replica repository forward by one record.
+
+        Execution-kind records only buffer (they are replayed at
+        promotion); repository-kind records and the task-performance
+        half of ``task-completed`` mutate the replica's databases so a
+        promoted server schedules from fresh data.
+        """
+        payload = record.payload
+        rp = self.repository.resource_performance
+        if record.kind == "workload-update":
+            if payload["host"] in rp:
+                rp.update_dynamic(
+                    payload["host"], cpu_load=payload["cpu_load"],
+                    available_memory_mb=payload["available_memory_mb"],
+                    time=payload["time"])
+        elif record.kind == "host-down":
+            if payload["host"] in rp:
+                rp.mark_down(payload["host"], payload["time"])
+        elif record.kind == "host-up":
+            if payload["host"] in rp:
+                rp.mark_up(payload["host"], payload["time"])
+        elif record.kind == "task-completed":
+            key = (payload["execution_id"], payload["node_id"])
+            tp = self.repository.task_performance
+            if key not in self._perf_applied and payload["task_name"] in tp:
+                self._perf_applied.add(key)
+                tp.record_execution(
+                    payload["task_name"], payload["host"],
+                    input_size=payload["input_size"],
+                    elapsed_s=payload["elapsed_s"], time=record.t,
+                    dedicated_elapsed_s=payload.get("dedicated_elapsed_s"),
+                    base_time_at_size_s=payload.get("base_time_at_size_s"))
+
+    # -- promotion-time views ------------------------------------------------
+    def ordered_records(self) -> list[WalRecord]:
+        """Every shipped record this replica holds, in LSN order."""
+        return [self.records[lsn] for lsn in sorted(self.records)]
+
+    def last_lsn(self) -> int:
+        """Highest LSN seen (0 when nothing arrived)."""
+        return max(self.records) if self.records else 0
+
+    def absorb(self, records: list[WalRecord]) -> int:
+        """Install records this replica missed (promotion state transfer).
+
+        The promoting standby hands its surviving peers the records they
+        lack so a *second* failover starts from a consistent log; each
+        missing record is applied exactly as if it had been shipped.
+        Returns how many records were new.
+        """
+        added = 0
+        for record in sorted(records, key=lambda r: r.lsn):
+            if record.lsn in self.records:
+                continue
+            self.records[record.lsn] = record
+            self.apply_record(record)
+            added += 1
+        return added
+
+    def stop(self) -> None:
+        """Terminate the replica's inbox process (teardown/promotion)."""
+        self.active = False
+        if self._inbox_proc.is_alive:
+            self._inbox_proc.interrupt("stop")

@@ -30,6 +30,12 @@ class Site:
         self.name = name
         self.hosts: dict[str, Host] = {}
         self._groups: dict[str, list[str]] = {}
+        #: liveness of the dedicated VDCE server machine (ServerCrash
+        #: faults flip this; see repro.faults and repro.recovery)
+        self.server_up: bool = True
+        #: after a failover the server *role* moves onto a standby host;
+        #: None means the dedicated server machine still holds it
+        self.server_role_host: str | None = None
 
     # -- construction -------------------------------------------------------
     def add_host(self, spec: HostSpec) -> Host:
@@ -85,6 +91,13 @@ class Site:
 
     def scheduler_address(self) -> str:
         return f"{self.name}/server/scheduler"
+
+    def server_is_up(self) -> bool:
+        """Liveness of whatever machine currently holds the server role."""
+        if self.server_role_host is not None:
+            host = self.hosts.get(self.server_role_host)
+            return host.up if host is not None else True
+        return self.server_up
 
     def up_hosts(self) -> list[Host]:
         """Hosts currently up (ground truth, not the repository view)."""
@@ -156,13 +169,20 @@ class VDCEnvironment:
         return [h for s in self.sites.values() for h in s.hosts.values()]
 
     def _host_is_up(self, host_addr: str) -> bool:
-        """Network up/down predicate; server endpoints are always up."""
+        """Network up/down predicate.
+
+        ``site/server`` endpoints follow the site's server-liveness model
+        (the dedicated server flag, or — after a failover — the standby
+        host now holding the role); unknown addresses default to up.
+        """
         site_name, _, host_name = host_addr.partition("/")
-        if not host_name or host_name == "server":
+        if not host_name:
             return True
         site = self.sites.get(site_name)
         if site is None:
             return True
+        if host_name == "server":
+            return site.server_is_up()
         host = site.hosts.get(host_name)
         return host.up if host is not None else True
 

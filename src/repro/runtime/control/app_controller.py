@@ -76,6 +76,19 @@ class ApplicationController:
         self.mailbox = network.register(self.address)
         self.stats = ControllerStats()
         self._start_events: dict[str, Any] = {}
+        # exactly-once bookkeeping: after a server failover the promoted
+        # Site Manager re-pushes allocations it cannot prove were acted
+        # on; these dedup keys make every re-push idempotent.
+        #: (execution_id, node_id) -> "running" | "done" | "aborted"
+        self._node_status: dict[tuple[str, str], str] = {}
+        #: executions whose channel setup completed and was acked
+        self._acked: set[str] = set()
+        #: cached completion reports, re-sent on duplicate pushes so a
+        #: promoted server can fill log gaps without re-running tasks
+        self._completed_reports: dict[str, dict[str, dict]] = {}
+        #: inputs consumed by aborted runs, keyed (execution, node) —
+        #: a re-issued task must not re-await channels it already drained
+        self._aborted_inputs: dict[tuple[str, str], dict] = {}
         self._inbox_proc = env.process(self._inbox_loop(),
                                        name=f"ac:{self.address}")
 
@@ -102,11 +115,16 @@ class ApplicationController:
         if payload.get("immediate"):
             # Rescheduled task: inputs travel with the request, the
             # execution is already under way — no setup, no start signal.
-            procs = [self.env.process(
-                self._run_task(execution_id, coordinator, entry),
-                name=f"retask:{entry['node_id']}@{self.host.address}")
-                for entry in payload["entries"]
-                if entry["hosts"][0] == self.host.address]
+            procs = []
+            for entry in payload["entries"]:
+                if entry["hosts"][0] != self.host.address:
+                    continue
+                if not self._claim(execution_id, entry["node_id"],
+                                   coordinator):
+                    continue
+                procs.append(self.env.process(
+                    self._run_task(execution_id, coordinator, entry),
+                    name=f"retask:{entry['node_id']}@{self.host.address}"))
             if procs:
                 yield self.env.all_of(procs)
             return
@@ -114,16 +132,22 @@ class ApplicationController:
                       if e["hosts"][0] == self.host.address]
         participant_entries = [e for e in payload["entries"]
                                if e["hosts"][0] != self.host.address]
-        # 1-2. activate the Data Manager: open receive endpoints for my
-        # tasks' inputs, then handshake outgoing cross-host channels.
-        out_specs: list[ChannelSpec] = []
-        for entry in my_entries:
-            for link in entry["in_links"]:
-                spec = self._in_spec(execution_id, entry, link)
-                self.data_manager.open_endpoint(spec)
-            for link in entry["out_links"]:
-                out_specs.append(self._out_spec(execution_id, entry, link))
-        yield self.env.process(self.data_manager.setup_channels(out_specs))
+        if execution_id not in self._acked:
+            # 1-2. activate the Data Manager: open receive endpoints for
+            # my tasks' inputs, then handshake outgoing channels.
+            out_specs: list[ChannelSpec] = []
+            for entry in my_entries:
+                for link in entry["in_links"]:
+                    spec = self._in_spec(execution_id, entry, link)
+                    self.data_manager.open_endpoint(spec)
+                for link in entry["out_links"]:
+                    out_specs.append(
+                        self._out_spec(execution_id, entry, link))
+            yield self.env.process(
+                self.data_manager.setup_channels(out_specs))
+            self._acked.add(execution_id)
+        # (else: duplicate push from a promoted server — channels are
+        # already set up, but the new coordinator still needs the ack)
         # 3-4. forward the acknowledgment toward the Site Manager.
         self.network.send(self.address, coordinator, CHANNEL_ACK,
                           payload={"execution_id": execution_id,
@@ -134,15 +158,53 @@ class ApplicationController:
         yield start
         # 5. run my tasks (each as its own process so independent tasks
         # interleave exactly as separate processes would on the machine).
-        procs = [self.env.process(
-            self._run_task(execution_id, coordinator, entry),
-            name=f"task:{entry['node_id']}@{self.host.address}")
-            for entry in my_entries]
+        # A duplicate push re-runs only tasks that never ran here.
+        procs = []
+        for entry in my_entries:
+            if not self._claim(execution_id, entry["node_id"],
+                               coordinator, allow_aborted=False):
+                continue
+            procs.append(self.env.process(
+                self._run_task(execution_id, coordinator, entry),
+                name=f"task:{entry['node_id']}@{self.host.address}"))
         if procs:
             yield self.env.all_of(procs)
         # participant entries occupy this host when the primary signals;
         # nothing to do here (handled by PARALLEL_OCCUPY messages).
         _ = participant_entries
+
+    def _claim(self, execution_id: str, node_id: str, coordinator: str,
+               allow_aborted: bool = True) -> bool:
+        """Dedup gate: may this (execution, node) start here now?
+
+        Running and completed tasks refuse the claim (for completed
+        ones the cached report is re-sent, healing a coordinator whose
+        replicated log missed the original completion).  Aborted tasks
+        may be reclaimed only by an *immediate* push — the rescheduling
+        pipeline deliberately re-issuing them — never by a duplicate
+        allocation push, which would race the rescheduled copy.
+        """
+        key = (execution_id, node_id)
+        status = self._node_status.get(key)
+        if status == "running":
+            return False
+        if status == "done":
+            self._resend_report(execution_id, node_id, coordinator)
+            return False
+        if status == "aborted" and not allow_aborted:
+            return False
+        self._node_status[key] = "running"
+        return True
+
+    def _resend_report(self, execution_id: str, node_id: str,
+                       coordinator: str) -> None:
+        report = self._completed_reports.get(execution_id, {}).get(node_id)
+        if report is not None:
+            self.network.send(self.address, coordinator, TASK_COMPLETED,
+                              payload=report, size_bytes=128)
+            self.tracer.record(self.env.now, "task-report-resent",
+                               self.host.address, node=node_id,
+                               execution=execution_id)
 
     def _in_spec(self, execution_id: str, entry: dict,
                  link: dict) -> ChannelSpec:
@@ -172,6 +234,10 @@ class ApplicationController:
         # mode, or forwarded wholesale when the task was rescheduled)
         if "forward_inputs" in entry:
             inputs: dict[str, Any] = dict(entry["forward_inputs"])
+        elif (execution_id, node_id) in self._aborted_inputs:
+            # re-issued after an abort here: the first run already
+            # drained the input channels, so reuse what it gathered
+            inputs = dict(self._aborted_inputs[(execution_id, node_id)])
         else:
             inputs = {}
             for link in entry["in_links"]:
@@ -179,7 +245,11 @@ class ApplicationController:
                     execution_id, node_id, link["dst_port"])
                 inputs[link["dst_port"]] = payload["value"]
         if not self.host.up:
-            return  # a crashed host silently does nothing
+            # a crashed host silently does nothing; release the dedup
+            # slot so a post-recovery re-push may run the task here
+            self._node_status[(execution_id, node_id)] = "aborted"
+            self._aborted_inputs[(execution_id, node_id)] = inputs
+            return
         # overload check before starting (QoS management); the per-
         # application QoS ceiling overrides the site-wide policy; a
         # forced rescheduled task (attempts exhausted) runs regardless
@@ -188,6 +258,8 @@ class ApplicationController:
                       if qos_ceiling is not None
                       else self.policy.should_reschedule)
         if not entry.get("forced") and overloaded(self.host.cpu_load):
+            self._node_status[(execution_id, node_id)] = "aborted"
+            self._aborted_inputs[(execution_id, node_id)] = inputs
             self._request_reschedule(execution_id, entry, inputs,
                                      reason="overload-before-start")
             return
@@ -229,6 +301,8 @@ class ApplicationController:
                     "ac_tasks_terminated_total",
                     help="tasks terminated mid-run").inc(
                         host=self.host.address)
+            self._node_status[(execution_id, node_id)] = "aborted"
+            self._aborted_inputs[(execution_id, node_id)] = inputs
             self._request_reschedule(execution_id, entry, inputs,
                                      reason=str(interrupt.cause))
             return
@@ -268,6 +342,9 @@ class ApplicationController:
         }
         if entry.get("is_exit", False):
             report["outputs"] = outputs
+        self._node_status[(execution_id, node_id)] = "done"
+        self._completed_reports.setdefault(execution_id, {})[node_id] = \
+            report
         self.network.send(self.address, coordinator, TASK_COMPLETED,
                           payload=report, size_bytes=128)
 

@@ -44,6 +44,9 @@ class MonitorDaemon:
         self.reports_sent = 0
         #: observed local up/down transitions: (time, "crashed"/"recovered")
         self.transitions: list[tuple[float, str]] = []
+        #: server-liveness detector (a recovery.failover.HeartbeatTracker)
+        #: ticked from the crash-watch loop when this host is a standby
+        self._server_tracker = None
         self._sampler = env.process(self._sample_loop(), name=f"mon:{host.name}")
         self._responder = env.process(self._respond_loop(),
                                       name=f"mon-echo:{host.name}")
@@ -91,10 +94,17 @@ class MonitorDaemon:
         fault itself.  On recovery it pushes a load report at once
         instead of waiting out the period, so repositories catch up a
         period earlier.
+
+        When this host is a failover standby the same loop extends the
+        crash watch to the *server* host: each period it ticks the
+        attached heartbeat tracker, which promotes once the server has
+        been silent past this standby's rank-staggered deadline.
         """
         was_up = self.host.up
         while True:
             yield self.env.timeout(self.period_s)
+            if self._server_tracker is not None and self.host.up:
+                self._server_tracker.tick(self.env.now)
             if self.host.up == was_up:
                 continue
             was_up = self.host.up
@@ -117,6 +127,11 @@ class MonitorDaemon:
                                   LOAD_REPORT, payload=self.measure(),
                                   size_bytes=64)
                 self.reports_sent += 1
+
+    # -- server failure detection (failover standbys) ------------------------
+    def watch_server(self, tracker) -> None:
+        """Attach (or with ``None`` detach) a server heartbeat tracker."""
+        self._server_tracker = tracker
 
     # -- echo ---------------------------------------------------------------
     def _respond_loop(self):

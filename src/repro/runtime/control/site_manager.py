@@ -110,6 +110,10 @@ class SiteManager:
         #: hook invoked with the reschedule-request payload (installed by
         #: the VDCE facade, which owns cross-module rescheduling)
         self.on_reschedule_request: Callable[[dict], None] | None = None
+        #: write-ahead-log shipper (a ReplicationShipper, attached by the
+        #: RecoveryCoordinator when failover is enabled for this site);
+        #: every mutating operation logs through :meth:`_log` first
+        self.replication: Any = None
         self.updates_applied = 0
         self._inbox_proc = env.process(self._inbox_loop(),
                                        name=f"sm:{self.address}")
@@ -137,9 +141,16 @@ class SiteManager:
             if handler is not None:
                 handler(msg)
 
+    # -- write-ahead logging ------------------------------------------------
+    def _log(self, kind: str, payload: dict) -> None:
+        """Append one mutation to the replication WAL (no-op standalone)."""
+        if self.replication is not None:
+            self.replication.log(kind, payload)
+
     # -- repository updates -----------------------------------------------
     def _on_workload_update(self, msg) -> None:
         sample = msg.payload
+        self._log("workload-update", dict(sample))
         self.repository.resource_performance.update_dynamic(
             sample["host"], cpu_load=sample["cpu_load"],
             available_memory_mb=sample["available_memory_mb"],
@@ -155,6 +166,7 @@ class SiteManager:
 
     def _on_host_down(self, msg) -> None:
         host = msg.payload["host"]
+        self._log("host-down", {"host": host, "time": self.env.now})
         if host in self.repository.resource_performance:
             self.repository.resource_performance.mark_down(host, self.env.now)
         self.tracer.record(self.env.now, "sm:host-down", self.address,
@@ -179,6 +191,7 @@ class SiteManager:
 
     def _on_host_up(self, msg) -> None:
         host = msg.payload["host"]
+        self._log("host-up", {"host": host, "time": self.env.now})
         if host in self.repository.resource_performance:
             self.repository.resource_performance.mark_up(host, self.env.now)
         self.tracer.record(self.env.now, "sm:host-up", self.address,
@@ -293,6 +306,14 @@ class SiteManager:
                     payload["max_host_load"] = max_host_load
                 portion.append(payload)
             by_site.setdefault(site, {})[host] = portion
+        # WAL first (write-ahead): a standby must learn the execution
+        # exists before any push effect can race ahead of the log
+        self._log("exec-begin", {
+            "execution_id": execution_id, "application": table.application,
+            "expected_acks": sorted(state.expected_acks),
+            "controllers": sorted(state.controllers),
+            "total_tasks": state.total_tasks,
+            "coordinator": self.address, "by_site": by_site})
         for site, portions in by_site.items():
             if site == self.site.name:
                 self._push_to_groups(portions, table.application,
@@ -375,6 +396,9 @@ class SiteManager:
         state = self._executions.get(payload["execution_id"])
         if state is None or state.started:
             return
+        if payload["host"] not in state.received_acks:
+            self._log("ack", {"execution_id": payload["execution_id"],
+                              "host": payload["host"]})
         state.received_acks.add(payload["host"])
         self._maybe_start(state)
 
@@ -384,6 +408,7 @@ class SiteManager:
             return
         state.started = True
         state.start_signal_time = self.env.now
+        self._log("start", {"execution_id": state.execution_id})
         for ctl in sorted(state.controllers):
             self.network.send(self.address, ctl, START_SIGNAL,
                               payload={"execution_id":
@@ -403,6 +428,11 @@ class SiteManager:
         state = self._executions.get(payload["execution_id"])
         if state is None:
             return
+        if payload["node_id"] in state.completed_tasks:
+            # duplicate report (controller re-sent it after a failover
+            # re-push): already recorded, must not double-count
+            return
+        self._log("task-completed", payload)
         state.completed_tasks[payload["node_id"]] = payload
         if self.obs.enabled:
             self.obs.metrics.counter(
@@ -421,9 +451,27 @@ class SiteManager:
                 base_time_at_size_s=payload.get("base_time_at_size_s"))
         if len(state.completed_tasks) >= state.total_tasks and \
                 state.finished is not None and not state.finished.triggered:
+            self._log("exec-finished",
+                      {"execution_id": state.execution_id})
             state.finished.succeed(dict(state.completed_tasks))
             self.tracer.record(self.env.now, "sm:app-completed", self.address,
                                execution=state.execution_id)
+
+    def resend_start(self, state: ExecutionState) -> None:
+        """Re-emit the start signal for an already-started execution.
+
+        Used after a failover re-push: controllers whose setup completed
+        before the crash already consumed the original signal (their
+        start event stays triggered), while re-pushed controllers need
+        one to run tasks the log shows as not yet completed.
+        """
+        for ctl in sorted(state.controllers):
+            self.network.send(self.address, ctl, START_SIGNAL,
+                              payload={"execution_id":
+                                       state.execution_id},
+                              size_bytes=32)
+        self.tracer.record(self.env.now, "sm:start-resent", self.address,
+                           execution=state.execution_id)
 
     def execution_state(self, execution_id: str) -> ExecutionState:
         """Bookkeeping for one distributed execution (acks, completions)."""

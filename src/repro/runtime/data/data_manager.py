@@ -79,11 +79,16 @@ class DataManager:
                  byte_orders: dict[str, str] | None = None,
                  tracer: Tracer | None = None,
                  retry_policy: RetryPolicy | None = None,
+                 retry_rng=None,
                  obs: Observability | None = None) -> None:
         self.env = env
         self.network = network
         self.host = host
         self.retry_policy = retry_policy or RetryPolicy()
+        #: seeded generator for retry-timeout jitter (the facade wires
+        #: the shared named stream ``rng.stream("retry-jitter")``); None
+        #: keeps the plain deterministic backoff ladder
+        self.retry_rng = retry_rng
         self.tracer = tracer or Tracer(enabled=False)
         self.obs = obs if obs is not None else OBS_OFF
         self.address = f"{host.address}/{self.SERVICE}"
@@ -156,7 +161,8 @@ class DataManager:
                 payload={"spec": spec, "reply_to": self.address},
                 size_bytes=96)
             index, _ = yield self.env.any_of(
-                [ack, self.env.timeout(policy.timeout_for(attempt))])
+                [ack, self.env.timeout(
+                    policy.timeout_for(attempt, rng=self.retry_rng))])
             if index == 0:
                 return True
             if attempt < policy.max_attempts:
@@ -165,6 +171,11 @@ class DataManager:
                     obs.metrics.counter(
                         "dm_setup_retries_total",
                         help="channel-setup retries").inc(
+                            host=self.host.address)
+                    obs.metrics.counter(
+                        "retries_total",
+                        help="retransmissions across all subsystems").inc(
+                            component="data-manager",
                             host=self.host.address)
                 self.tracer.record(self.env.now, "dm:retry", self.address,
                                    key=spec.key, attempt=attempt + 1,
@@ -175,6 +186,10 @@ class DataManager:
                 "dm_setups_abandoned_total",
                 help="channel setups abandoned after retries").inc(
                     host=self.host.address)
+            obs.metrics.counter(
+                "delivery_timeouts_total",
+                help="exchanges abandoned after the retry budget").inc(
+                    component="data-manager", host=self.host.address)
         self.tracer.record(self.env.now, "dm:setup-abandoned", self.address,
                            key=spec.key, dst=spec.dst_host,
                            attempts=policy.max_attempts)

@@ -47,10 +47,18 @@ class AllocationEntry:
 
 @dataclass
 class ResourceAllocationTable:
-    """node id -> :class:`AllocationEntry` for one application."""
+    """node id -> :class:`AllocationEntry` for one application.
+
+    Every assignment carries a monotone per-task *version*: 1 on first
+    :meth:`assign`, bumped by each :meth:`reassign`.  Dynamic
+    rescheduling (and failover replay) can therefore always tell which
+    of two assignments for the same task is newer — the property tests
+    assert versions never go backwards under host flapping.
+    """
 
     application: str
     entries: dict[str, AllocationEntry] = field(default_factory=dict)
+    versions: dict[str, int] = field(default_factory=dict)
 
     def assign(self, entry: AllocationEntry) -> None:
         """Record a task's assignment (once per task)."""
@@ -58,6 +66,7 @@ class ResourceAllocationTable:
             raise SchedulingError(
                 f"task {entry.node_id!r} already allocated")
         self.entries[entry.node_id] = entry
+        self.versions[entry.node_id] = 1
 
     def reassign(self, entry: AllocationEntry) -> AllocationEntry:
         """Replace an existing assignment (dynamic rescheduling)."""
@@ -66,7 +75,13 @@ class ResourceAllocationTable:
                 f"cannot reassign unallocated task {entry.node_id!r}")
         old = self.entries[entry.node_id]
         self.entries[entry.node_id] = entry
+        self.versions[entry.node_id] = self.versions.get(entry.node_id,
+                                                         1) + 1
         return old
+
+    def version_of(self, node_id: str) -> int:
+        """Monotone assignment version for one task (0 = never assigned)."""
+        return self.versions.get(node_id, 0)
 
     def get(self, node_id: str) -> AllocationEntry:
         """Fetch one task's assignment."""

@@ -48,6 +48,8 @@ class ChaosOutcome:
     plan: list[dict[str, Any]]          # the generated plan, serialised
     failed_processes: list[str]
     chrome_trace: str | None = None     # Chrome trace_event JSON (obs runs)
+    failovers: int = 0                  # standby promotions that fired
+    tasks_executed: int = 0             # runs-to-completion over all hosts
 
 
 def group_leaders(vdce) -> set[str]:
@@ -73,6 +75,9 @@ def crash_candidates(vdce) -> list[str]:
 
 def run_chaos(seed: int, n: int = 200, horizon_s: float = 60.0,
               max_sim_time_s: float = 2000.0, obs: bool = False,
+              failover_standbys: dict[str, list[str]] | None = None,
+              plan: FaultPlan | None = None,
+              min_sim_time_s: float = 0.0,
               **plan_kwargs) -> ChaosOutcome:
     """One seeded chaos run of the linear-solver pipeline.
 
@@ -80,13 +85,26 @@ def run_chaos(seed: int, n: int = 200, horizon_s: float = 60.0,
     handle and the outcome's ``chrome_trace`` holds the exported Chrome
     ``trace_event`` JSON — the artifact CI uploads, and the probe the
     determinism test compares byte-for-byte across same-seed runs.
+
+    *failover_standbys* (site name -> standby host names) enables the
+    self-healing control plane before faults install, so plans may crash
+    site servers; an explicit *plan* overrides the seeded random one.
+    *min_sim_time_s* keeps the simulation running past application
+    completion (failovers fire for planned faults landing afterwards —
+    the control plane heals whether or not work is in flight).
     """
     observability = Observability() if obs else None
     vdce = quiet_testbed(seed=seed, obs=observability)
     vdce.start()
-    plan = FaultPlan.random(
-        vdce.world.rng.stream("chaos-plan"), crash_candidates(vdce),
-        sites=sorted(vdce.world.sites), horizon_s=horizon_s, **plan_kwargs)
+    if failover_standbys:
+        for site_name in sorted(failover_standbys):
+            vdce.enable_failover(site_name,
+                                 list(failover_standbys[site_name]))
+    if plan is None:
+        plan = FaultPlan.random(
+            vdce.world.rng.stream("chaos-plan"), crash_candidates(vdce),
+            sites=sorted(vdce.world.sites), horizon_s=horizon_s,
+            **plan_kwargs)
     injector = vdce.apply_fault_plan(plan)
     graph = linear_solver_graph(vdce.registry, n=n)
     sites = sorted(vdce.world.sites)
@@ -107,6 +125,8 @@ def run_chaos(seed: int, n: int = 200, horizon_s: float = 60.0,
             run.status = "timeout"
     except VDCEError as exc:
         error = type(exc).__name__
+    while vdce.now < min_sim_time_s:
+        vdce.env.run(until=vdce.now + 5.0)
     results = run.results() if run is not None else {}
     norm = results.get("verify", {}).get("norm")
     return ChaosOutcome(
@@ -126,6 +146,9 @@ def run_chaos(seed: int, n: int = 200, horizon_s: float = 60.0,
         chrome_trace=(chrome_trace_json(observability.spans.spans,
                                         clock_end=vdce.now)
                       if observability is not None else None),
+        failovers=vdce.recovery.failovers if vdce.recovery else 0,
+        tasks_executed=sum(ac.stats.tasks_executed
+                           for ac in vdce.app_controllers.values()),
     )
 
 

@@ -15,6 +15,7 @@ from repro.faults import (
     LinkDegradation,
     LinkPartition,
     MessageFaults,
+    ServerCrash,
     SiteOutage,
 )
 from repro.net import ATM_OC3, Message, Network, Topology
@@ -142,6 +143,7 @@ class TestSpecTypes:
             "link-partition": LinkPartition,
             "link-degradation": LinkDegradation,
             "message-faults": MessageFaults,
+            "server-crash": ServerCrash,
         }
 
 

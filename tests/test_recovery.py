@@ -1,0 +1,355 @@
+"""Tier-1 tests for the self-healing control plane (``repro.recovery``).
+
+Chaos-grade end-to-end failover runs live in
+``tests/chaos/test_server_failover.py``; this module covers the units —
+the WAL and its replay fold, the rank-staggered failure detector, the
+standby replica's record application, ``ServerCrash`` plan plumbing,
+retry jitter determinism, monotone allocation versions, and a fast
+in-process flapping scenario for the rescheduling pipeline.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, HostCrash, ServerCrash
+from repro.recovery import (
+    EXECUTION_KINDS,
+    REPOSITORY_KINDS,
+    WAL_KINDS,
+    HeartbeatTracker,
+    WalRecord,
+    WriteAheadLog,
+    replay_executions,
+)
+from repro.runtime.data.messaging import RetryPolicy
+from repro.scheduling.allocation import AllocationEntry, ResourceAllocationTable
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngRegistry
+from repro.workloads import linear_solver_graph, quiet_testbed
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead log
+# ---------------------------------------------------------------------------
+
+class TestWriteAheadLog:
+    def test_lsns_are_monotone_from_start(self):
+        wal = WriteAheadLog()
+        records = [wal.append("start", {"execution_id": "e"}, t=float(i))
+                   for i in range(5)]
+        assert [r.lsn for r in records] == [1, 2, 3, 4, 5]
+        assert wal.last_lsn == 5
+        assert len(wal) == 5
+
+    def test_start_lsn_continues_a_predecessor(self):
+        wal = WriteAheadLog(start_lsn=41)
+        assert wal.append("host-up", {"host": "s/h"}, t=0.0).lsn == 42
+
+    def test_negative_start_lsn_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WriteAheadLog(start_lsn=-1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WriteAheadLog().append("made-up", {}, t=0.0)
+
+    def test_kind_catalogue_is_partitioned(self):
+        assert set(REPOSITORY_KINDS).isdisjoint(EXECUTION_KINDS)
+        assert set(WAL_KINDS) == set(REPOSITORY_KINDS) | set(EXECUTION_KINDS)
+
+    def test_summary_json_is_canonical_and_json_safe(self):
+        wal = WriteAheadLog()
+        # payloads may hold non-JSON values (numpy arrays in completion
+        # reports); the digest must quote only the stable key fields
+        wal.append("task-completed",
+                   {"execution_id": "e1", "node_id": "n1", "host": "s/h0",
+                    "outputs": {"x": np.ones(3)}}, t=1.5)
+        doc = json.loads(wal.summary_json())
+        assert doc == [{"execution_id": "e1", "host": "s/h0",
+                        "kind": "task-completed", "lsn": 1, "node_id": "n1",
+                        "t": 1.5}]
+        assert wal.summary_json() == wal.summary_json()
+
+
+class TestReplayExecutions:
+    def _begin(self, lsn, eid):
+        return WalRecord(lsn=lsn, t=0.0, kind="exec-begin", payload={
+            "execution_id": eid, "application": "app",
+            "expected_acks": ["s/h0", "s/h1"],
+            "controllers": ["s/h0/appctl", "s/h1/appctl"],
+            "total_tasks": 2, "coordinator": "s/server/sitemgr",
+            "by_site": {}})
+
+    def test_folds_full_lifecycle(self):
+        records = [
+            self._begin(1, "e1"),
+            WalRecord(2, 1.0, "ack", {"execution_id": "e1", "host": "s/h0"}),
+            WalRecord(3, 1.1, "ack", {"execution_id": "e1", "host": "s/h1"}),
+            WalRecord(4, 1.2, "start", {"execution_id": "e1"}),
+            WalRecord(5, 5.0, "task-completed",
+                      {"execution_id": "e1", "node_id": "n1"}),
+            WalRecord(6, 9.0, "task-completed",
+                      {"execution_id": "e1", "node_id": "n2"}),
+            WalRecord(7, 9.0, "exec-finished", {"execution_id": "e1"}),
+        ]
+        info = replay_executions(records)["e1"]
+        assert info["acks"] == {"s/h0", "s/h1"}
+        assert info["started"] is True
+        assert info["start_time"] == 1.2
+        assert sorted(info["completed"]) == ["n1", "n2"]
+        assert info["finished"] is True
+
+    def test_replays_in_lsn_order_regardless_of_input_order(self):
+        records = [
+            WalRecord(2, 1.0, "ack", {"execution_id": "e1", "host": "s/h0"}),
+            self._begin(1, "e1"),
+        ]
+        assert replay_executions(records)["e1"]["acks"] == {"s/h0"}
+
+    def test_gap_executions_without_begin_are_skipped(self):
+        records = [
+            WalRecord(9, 1.0, "ack", {"execution_id": "ghost",
+                                      "host": "s/h0"}),
+            WalRecord(10, 1.0, "start", {"execution_id": "ghost"}),
+        ]
+        assert replay_executions(records) == {}
+
+    def test_repository_kinds_do_not_create_executions(self):
+        records = [WalRecord(1, 0.0, "host-down",
+                             {"host": "s/h0", "time": 0.0})]
+        assert replay_executions(records) == {}
+
+
+# ---------------------------------------------------------------------------
+# Heartbeat failure detector
+# ---------------------------------------------------------------------------
+
+class _StubHost:
+    def __init__(self):
+        self.up = True
+
+
+class _StubReplica:
+    def __init__(self):
+        self.active = True
+        self.host = _StubHost()
+        self.last_heartbeat = 0.0
+
+
+class TestHeartbeatTracker:
+    def _tracker(self, rank, fired):
+        replica = _StubReplica()
+        tracker = HeartbeatTracker(
+            replica, rank=rank, suspect_after_s=6.0, promote_grace_s=2.0,
+            on_promote=lambda rep, suspected: fired.append(suspected))
+        return replica, tracker
+
+    def test_rank_staggers_the_promotion_deadline(self):
+        assert self._tracker(0, [])[1].promote_after_s == 6.0
+        assert self._tracker(1, [])[1].promote_after_s == 8.0
+        assert self._tracker(3, [])[1].promote_after_s == 12.0
+
+    def test_fires_only_past_the_rank_deadline(self):
+        replica, tracker = self._tracker(1, fired := [])
+        tracker.tick(5.0)
+        assert fired == [] and tracker.suspected_at is None
+        tracker.tick(6.5)      # suspected, but rank 1 waits until 8.0
+        assert fired == [] and tracker.suspected_at == 6.5
+        tracker.tick(8.0)
+        assert fired == [6.5]  # promoted with the original suspicion time
+
+    def test_heartbeat_clears_suspicion(self):
+        replica, tracker = self._tracker(0, fired := [])
+        tracker.tick(7.0)
+        assert fired == [7.0]
+        fired.clear()
+        replica.last_heartbeat = 7.5   # beat arrived; silence resets
+        tracker.tick(8.0)
+        assert fired == [] and tracker.suspected_at is None
+
+    def test_dead_standby_never_fires(self):
+        replica, tracker = self._tracker(0, fired := [])
+        replica.host.up = False
+        tracker.tick(100.0)
+        assert fired == [] and tracker.suspected_at is None
+
+    def test_inactive_replica_never_fires(self):
+        replica, tracker = self._tracker(0, fired := [])
+        replica.active = False
+        tracker.tick(100.0)
+        assert fired == []
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HeartbeatTracker(_StubReplica(), rank=0, suspect_after_s=0.0,
+                             promote_grace_s=1.0, on_promote=lambda r, s: None)
+        with pytest.raises(ConfigurationError):
+            HeartbeatTracker(_StubReplica(), rank=0, suspect_after_s=1.0,
+                             promote_grace_s=-1.0,
+                             on_promote=lambda r, s: None)
+
+
+# ---------------------------------------------------------------------------
+# ServerCrash plan plumbing
+# ---------------------------------------------------------------------------
+
+class TestServerCrashSpec:
+    def test_roundtrips_through_dicts(self):
+        plan = FaultPlan(events=(
+            ServerCrash(site="syracuse", at=10.0, recover_after=5.0),
+            HostCrash(host="syracuse/h1", at=3.0),
+        ))
+        rebuilt = FaultPlan.from_dicts(plan.to_dicts())
+        assert rebuilt.to_dicts() == plan.to_dicts()
+        kinds = [doc["kind"] for doc in rebuilt.to_dicts()]
+        assert "server-crash" in kinds
+
+    def test_validation_rejects_bad_times(self):
+        with pytest.raises(ConfigurationError):
+            ServerCrash(site="s", at=-1.0).validate()
+        with pytest.raises(ConfigurationError):
+            ServerCrash(site="s", at=1.0, recover_after=0.0).validate()
+
+    def test_random_plans_spare_servers_by_default(self):
+        hosts = ["s/h1", "s/h2", "r/h1"]
+        plan = FaultPlan.random(RngRegistry(5).stream("p"), hosts,
+                                sites=["s", "r"], horizon_s=60.0)
+        assert all(doc["kind"] != "server-crash" for doc in plan.to_dicts())
+
+    def test_include_servers_extends_without_disturbing_other_draws(self):
+        hosts = ["s/h1", "s/h2", "r/h1"]
+        base = FaultPlan.random(RngRegistry(5).stream("p"), hosts,
+                                sites=["s", "r"], horizon_s=60.0)
+        extended = FaultPlan.random(RngRegistry(5).stream("p"), hosts,
+                                    sites=["s", "r"], horizon_s=60.0,
+                                    include_servers=True,
+                                    n_server_crashes=2)
+        servers = [d for d in extended.to_dicts()
+                   if d["kind"] == "server-crash"]
+        others = [d for d in extended.to_dicts()
+                  if d["kind"] != "server-crash"]
+        assert len(servers) == 2
+        # the server draws happen after all other draws, so the rest of
+        # the plan is byte-identical to the flag-off plan
+        assert others == base.to_dicts()
+
+
+# ---------------------------------------------------------------------------
+# Retry jitter (deterministic backoff desynchronisation)
+# ---------------------------------------------------------------------------
+
+class TestRetryJitter:
+    def test_jitter_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.0)
+
+    def test_zero_jitter_keeps_the_plain_ladder(self):
+        policy = RetryPolicy(timeout_s=1.0, max_attempts=4,
+                             backoff_factor=2.0)
+        rng = RngRegistry(1).stream("retry-jitter")
+        assert [policy.timeout_for(n, rng=rng) for n in range(1, 5)] == \
+            [1.0, 2.0, 4.0, 8.0]
+        assert policy.schedule() == [1.0, 2.0, 4.0, 8.0]
+
+    def test_jitter_stretches_within_bounds(self):
+        policy = RetryPolicy(timeout_s=1.0, jitter=0.25)
+        rng = RngRegistry(7).stream("retry-jitter")
+        for attempt in range(1, 5):
+            base = RetryPolicy(timeout_s=1.0).timeout_for(attempt)
+            got = policy.timeout_for(attempt, rng=rng)
+            assert base <= got < base * 1.25
+
+    def test_same_seed_same_jitter_sequence(self):
+        policy = RetryPolicy(timeout_s=1.0, jitter=0.3)
+
+        def sequence(seed):
+            rng = RngRegistry(seed).stream("retry-jitter")
+            return [policy.timeout_for(1 + i % 3, rng=rng)
+                    for i in range(16)]
+
+        assert sequence(42) == sequence(42)
+        assert sequence(42) != sequence(43)
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(timeout_s=1.0, jitter=0.5)
+        assert policy.timeout_for(1) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Monotone allocation versions
+# ---------------------------------------------------------------------------
+
+def _entry(node, host):
+    return AllocationEntry(node_id=node, task_name="t", site="s",
+                           hosts=(host,), predicted_time_s=1.0)
+
+
+class TestAllocationVersions:
+    def test_assign_starts_at_one(self):
+        table = ResourceAllocationTable(application="a")
+        table.assign(_entry("n1", "s/h0"))
+        assert table.version_of("n1") == 1
+
+    def test_reassign_bumps_monotonically(self):
+        table = ResourceAllocationTable(application="a")
+        table.assign(_entry("n1", "s/h0"))
+        versions = [table.version_of("n1")]
+        for host in ("s/h1", "s/h0", "s/h2"):   # flap back and forth
+            table.reassign(_entry("n1", host))
+            versions.append(table.version_of("n1"))
+        assert versions == sorted(versions) == [1, 2, 3, 4]
+
+    def test_unassigned_task_is_version_zero(self):
+        assert ResourceAllocationTable(application="a").version_of("x") == 0
+
+
+# ---------------------------------------------------------------------------
+# Rescheduling under host flapping (down -> up -> down)
+# ---------------------------------------------------------------------------
+
+class TestHostFlapping:
+    def _run(self, seed, plan):
+        vdce = quiet_testbed(seed=seed)
+        vdce.start()
+        vdce.apply_fault_plan(plan)
+        graph = linear_solver_graph(vdce.registry, n=300)
+        sites = sorted(vdce.world.sites)
+        for i, nid in enumerate(graph.nodes):
+            graph.node(nid).properties.preferred_site = \
+                sites[i % len(sites)]
+        run = vdce.run_application(graph, sites[0], k_remote_sites=1,
+                                   max_sim_time_s=2000.0)
+        return vdce, graph, run
+
+    def test_flapping_host_no_duplicate_completions(self):
+        # the same worker dies, recovers, and dies again mid-pipeline
+        plan = FaultPlan(events=(
+            HostCrash(host="syracuse/h1", at=4.0, recover_after=6.0),
+            HostCrash(host="syracuse/h1", at=16.0, recover_after=8.0),
+        ))
+        vdce, graph, run = self._run(3, plan)
+        assert run.status == "completed"
+        # every task completed exactly once at the coordinator (the
+        # completion map is keyed by node, so duplicates would surface
+        # as inflated controller-side execution counts instead)
+        assert sorted(run.completions) == sorted(graph.nodes)
+        sm_state = vdce.site_managers[
+            run.report.local_site].execution_state(run.execution_id)
+        assert len(sm_state.completed_tasks) == len(graph)
+        assert vdce.env.failed_processes == []
+
+    def test_flapping_keeps_allocation_versions_monotone(self):
+        plan = FaultPlan(events=(
+            HostCrash(host="syracuse/h1", at=4.0, recover_after=6.0),
+            HostCrash(host="syracuse/h1", at=16.0, recover_after=8.0),
+        ))
+        vdce, graph, run = self._run(3, plan)
+        versions = [run.table.version_of(nid) for nid in graph.nodes]
+        assert all(v >= 1 for v in versions)
+        # every bump beyond the initial assignment was a reschedule the
+        # facade coordinated — versions can never outrun that count
+        assert sum(v - 1 for v in versions) <= run.reschedules
