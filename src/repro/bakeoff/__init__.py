@@ -1,0 +1,50 @@
+"""``repro.bakeoff`` — the scheduler bake-off harness.
+
+ROADMAP item 2's deliverable: one entry point
+(:func:`~repro.bakeoff.runner.run_bakeoff`, surfaced as the ``repro
+bakeoff`` CLI subcommand) that runs N registry-listed schedulers over M
+workloads, scores every cell (predicted + simulated makespan,
+utilization, imbalance, optimality gap against the branch-and-bound
+reference), and emits a text table plus deterministic JSON consumed by
+CI (:mod:`repro.bakeoff.compare`).
+"""
+
+from repro.bakeoff.compare import (
+    DEFAULT_GAP_TOLERANCE,
+    check_json_against_baseline,
+    compare_to_baseline,
+)
+from repro.bakeoff.runner import (
+    DEFAULT_WORKLOADS,
+    BakeoffConfig,
+    BakeoffResult,
+    WorkloadBuilder,
+    resolve_schedulers,
+    resolve_workloads,
+    run_bakeoff,
+)
+from repro.bakeoff.scoring import (
+    ScheduleScore,
+    ground_truth_durations,
+    host_busy_seconds,
+    repository_predicted_durations,
+    score_schedule,
+)
+
+__all__ = [
+    "BakeoffConfig",
+    "BakeoffResult",
+    "DEFAULT_GAP_TOLERANCE",
+    "DEFAULT_WORKLOADS",
+    "ScheduleScore",
+    "WorkloadBuilder",
+    "check_json_against_baseline",
+    "compare_to_baseline",
+    "ground_truth_durations",
+    "host_busy_seconds",
+    "repository_predicted_durations",
+    "resolve_schedulers",
+    "resolve_workloads",
+    "run_bakeoff",
+    "score_schedule",
+]

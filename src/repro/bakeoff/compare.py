@@ -1,0 +1,71 @@
+"""Baseline regression check over bake-off JSON.
+
+CI commits a known-good ``BENCH_bakeoff.json`` and fails the build when
+any heuristic's optimality gap regresses by more than the tolerance
+(absolute, in gap units: a scheduler at gap 0.05 with tolerance 0.10
+may drift to 0.15 before failing).  New (scheduler, workload) cells are
+allowed — they simply have no baseline yet — but cells present in the
+baseline must not disappear.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Maximum allowed optimality-gap increase vs the baseline (ISSUE 6:
+#: "failing if any heuristic's optimality gap regresses >10%").
+DEFAULT_GAP_TOLERANCE = 0.10
+
+
+def _rows_by_cell(payload: dict[str, Any]) -> dict[tuple[str, str],
+                                                   dict[str, Any]]:
+    return {(row["scheduler"], row["workload"]): row
+            for row in payload.get("rows", [])}
+
+
+def compare_to_baseline(current: dict[str, Any], baseline: dict[str, Any],
+                        tolerance: float = DEFAULT_GAP_TOLERANCE
+                        ) -> list[str]:
+    """Regression messages (empty = pass).
+
+    Random placement is exempt from the gap gate — its gap is seed noise
+    by construction — but its cells must still exist.
+    """
+    failures: list[str] = []
+    current_rows = _rows_by_cell(current)
+    for cell, base_row in sorted(_rows_by_cell(baseline).items()):
+        scheduler, workload = cell
+        row = current_rows.get(cell)
+        if row is None:
+            failures.append(
+                f"({scheduler}, {workload}): present in baseline but "
+                f"missing from this run")
+            continue
+        base_gap = base_row.get("optimality_gap")
+        gap = row.get("optimality_gap")
+        if base_gap is None:
+            continue
+        if gap is None:
+            failures.append(
+                f"({scheduler}, {workload}): baseline has an optimality "
+                f"gap but this run computed none")
+            continue
+        if scheduler == "random":
+            continue
+        if gap > base_gap + tolerance:
+            failures.append(
+                f"({scheduler}, {workload}): optimality gap regressed "
+                f"{base_gap:.4f} -> {gap:.4f} "
+                f"(tolerance +{tolerance:.2f})")
+    return failures
+
+
+def check_json_against_baseline(current_json: str, baseline_path: str,
+                                tolerance: float = DEFAULT_GAP_TOLERANCE
+                                ) -> list[str]:
+    """As :func:`compare_to_baseline`, reading the baseline from disk."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    return compare_to_baseline(json.loads(current_json), baseline,
+                               tolerance=tolerance)

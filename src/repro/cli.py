@@ -11,7 +11,10 @@ Gives downstream users the paper's workflow without writing code:
 * ``monitor``   — run the monitoring pipeline and print the workload view;
 * ``obs``       — run a workload with observability on and print the
                   utilization / queue-depth / latency report (optionally
-                  exporting Chrome-trace, Prometheus, or JSONL dumps).
+                  exporting Chrome-trace, Prometheus, or JSONL dumps);
+* ``bakeoff``   — score every registered scheduler over the default
+                  workloads against the branch-and-bound optimal
+                  reference, emitting a table + deterministic JSON.
 """
 
 from __future__ import annotations
@@ -192,6 +195,49 @@ def cmd_show(args) -> int:
     return 0
 
 
+def cmd_bakeoff(args) -> int:
+    from repro.bakeoff import (
+        BakeoffConfig,
+        check_json_against_baseline,
+        resolve_schedulers,
+        resolve_workloads,
+        run_bakeoff,
+    )
+    config = BakeoffConfig(
+        schedulers=resolve_schedulers(args.schedulers),
+        workloads=resolve_workloads(args.workloads),
+        seed=args.seed, hosts_per_site=args.hosts,
+        optimal_task_limit=args.optimal_limit)
+    obs = None
+    if args.obs:
+        from repro.obs import Observability
+        obs = Observability()
+    result = run_bakeoff(config, obs=obs)
+    print(result.render())
+    payload = result.to_json()
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(payload)
+        print(f"\nbake-off JSON written to {args.json}")
+    if args.obs and obs is not None:
+        rounds = obs.metrics.counter("bakeoff_rounds_total").total()
+        spans = len(obs.spans.finished("schedule-round"))
+        print(f"\nschedule rounds observed: {rounds:.0f} "
+              f"({spans} schedule-round spans)")
+    if args.check:
+        failures = check_json_against_baseline(
+            payload, args.check, tolerance=args.tolerance)
+        if failures:
+            print(f"\nFAIL: {len(failures)} optimality-gap regression(s) "
+                  f"vs {args.check}:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"\nOK: no optimality-gap regressions vs {args.check} "
+              f"(tolerance +{args.tolerance:.2f})")
+    return 0
+
+
 def cmd_monitor(args) -> int:
     vdce = nynet_testbed(seed=args.seed, hosts_per_site=args.hosts,
                          with_loads=True, filter_policy=args.policy)
@@ -318,6 +364,28 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--size", type=int, default=None)
     show.add_argument("--no-ports", action="store_true")
 
+    bakeoff = sub.add_parser(
+        "bakeoff",
+        help="score registered schedulers against the optimal reference")
+    bakeoff.add_argument("--schedulers", default="all",
+                         help="'all' or a comma list of registry names")
+    bakeoff.add_argument("--workloads", default="default",
+                         help="'default' or a comma list of workload names")
+    bakeoff.add_argument("--seed", type=int, default=0)
+    bakeoff.add_argument("--hosts", type=int, default=3,
+                         help="hosts per site")
+    bakeoff.add_argument("--optimal-limit", type=int, default=9,
+                         help="max tasks for the branch-and-bound reference")
+    bakeoff.add_argument("--json", default=None,
+                         help="write the deterministic comparison JSON here")
+    bakeoff.add_argument("--check", default=None, metavar="BASELINE",
+                         help="fail on optimality-gap regression vs this "
+                              "committed bake-off JSON")
+    bakeoff.add_argument("--tolerance", type=float, default=0.10,
+                         help="allowed absolute gap increase for --check")
+    bakeoff.add_argument("--obs", action="store_true",
+                         help="record schedule-round spans and counters")
+
     monitor = sub.add_parser("monitor", help="run the monitoring pipeline")
     monitor.add_argument("--duration", type=float, default=60.0)
     monitor.add_argument("--policy", default="ci",
@@ -356,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 COMMANDS = {
     "info": cmd_info,
+    "bakeoff": cmd_bakeoff,
     "solve": cmd_solve,
     "schedule": cmd_schedule,
     "local": cmd_local,

@@ -19,23 +19,42 @@ from repro.scheduling.makespan import (
     evaluate_schedule,
     predicted_schedule_length,
 )
+from repro.scheduling.optimal import (
+    OptimalScheduler,
+    SearchStats,
+    brute_force_search,
+)
 from repro.scheduling.qos import (
     QoSAssessment,
     QoSRequirement,
     assess_schedule,
     require_admission,
 )
+from repro.scheduling.registry import (
+    Scheduler,
+    SchedulerContext,
+    available_schedulers,
+    create_scheduler,
+    create_schedulers,
+    register_scheduler,
+)
 from repro.scheduling.rescheduling import ReschedulePolicy, Rescheduler
-from repro.scheduling.site_scheduler import ScheduleReport, SiteScheduler
+from repro.scheduling.site_scheduler import (
+    FederatedSiteScheduler,
+    ScheduleReport,
+    SiteScheduler,
+)
 
 __all__ = [
     "AllocationEntry",
     "BaselineScheduler",
+    "FederatedSiteScheduler",
     "HeftScheduler",
     "HostChoice",
     "HostSelectionResult",
     "HostSelector",
     "MinLoadScheduler",
+    "OptimalScheduler",
     "QoSAssessment",
     "QoSRequirement",
     "RandomScheduler",
@@ -45,12 +64,20 @@ __all__ = [
     "ResourceAllocationTable",
     "RoundRobinScheduler",
     "ScheduleReport",
+    "Scheduler",
+    "SchedulerContext",
+    "SearchStats",
     "SiteScheduler",
     "Timeline",
     "assess_schedule",
+    "available_schedulers",
+    "brute_force_search",
     "compute_levels",
+    "create_scheduler",
+    "create_schedulers",
     "evaluate_schedule",
     "predicted_schedule_length",
     "priority_order",
+    "register_scheduler",
     "require_admission",
 ]

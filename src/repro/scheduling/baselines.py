@@ -28,7 +28,12 @@ from repro.scheduling.allocation import (
     AllocationEntry,
     ResourceAllocationTable,
 )
+from repro.scheduling.registry import SchedulerContext, register_scheduler
 from repro.util.errors import NoFeasibleHostError
+from repro.util.rng import RngRegistry
+
+#: The named stream every RandomScheduler draws from (repro.util.rng).
+RANDOM_SCHEDULER_STREAM = "scheduler-random"
 
 
 class BaselineScheduler:
@@ -44,6 +49,8 @@ class BaselineScheduler:
         out: list[ResourceRecord] = []
         for site, repo in sorted(self.repositories.items()):
             for rec in repo.resource_performance.hosts_at(site):
+                if rec.status != "up":
+                    continue
                 if node.properties.machine_type is not None and \
                         rec.arch != node.properties.machine_type:
                     continue
@@ -109,7 +116,11 @@ class RandomScheduler(BaselineScheduler):
     def __init__(self, repositories: dict[str, SiteRepository],
                  rng: np.random.Generator | None = None) -> None:
         super().__init__(repositories)
-        self.rng = rng or np.random.default_rng(0)
+        # DET001: randomness always comes from a named repro.util.rng
+        # stream, never module-level numpy state — a default-constructed
+        # RandomScheduler is therefore byte-reproducible.
+        self.rng = rng if rng is not None else RngRegistry(0).stream(
+            RANDOM_SCHEDULER_STREAM)
 
     def _choose(self, node: TaskNode) -> AllocationEntry:
         records = self._feasible(node)
@@ -170,3 +181,19 @@ class MinLoadScheduler(BaselineScheduler):
             sum(r.cpu_load for r in eligible[s]) / len(eligible[s]), s))
         pool = sorted(eligible[site], key=lambda r: (r.cpu_load, r.address))
         return self._entry(node, pool[:needed])
+
+
+@register_scheduler("random")
+def _random_factory(ctx: SchedulerContext) -> RandomScheduler:
+    return RandomScheduler(ctx.repositories,
+                           rng=ctx.rng.stream(RANDOM_SCHEDULER_STREAM))
+
+
+@register_scheduler("round-robin")
+def _round_robin_factory(ctx: SchedulerContext) -> RoundRobinScheduler:
+    return RoundRobinScheduler(ctx.repositories)
+
+
+@register_scheduler("min-load")
+def _min_load_factory(ctx: SchedulerContext) -> MinLoadScheduler:
+    return MinLoadScheduler(ctx.repositories)

@@ -32,6 +32,7 @@ from repro.scheduling.allocation import (
     AllocationEntry,
     ResourceAllocationTable,
 )
+from repro.scheduling.registry import SchedulerContext, register_scheduler
 from repro.util.errors import NoFeasibleHostError
 
 
@@ -78,6 +79,8 @@ class HeftScheduler:
         for site, repo in sorted(self.repositories.items()):
             predictor = self._predictor_factory(repo)
             for rec in repo.resource_performance.hosts_at(site):
+                if rec.status != "up":
+                    continue
                 if node.properties.machine_type is not None and \
                         rec.arch != node.properties.machine_type:
                     continue
@@ -163,3 +166,8 @@ class HeftScheduler:
                 "heft_tasks_placed_total",
                 help="tasks placed by HEFT").inc(float(len(table)))
         return table
+
+
+@register_scheduler("heft")
+def _heft_factory(ctx: SchedulerContext) -> HeftScheduler:
+    return HeftScheduler(ctx.repositories, ctx.topology, obs=ctx.obs)

@@ -147,6 +147,7 @@ class HostSelector:
                          processors: int) -> HostChoice:
         # Parallel extension: pick the p best hosts within the site; the
         # parallel execution time is bounded by the slowest participant.
+        records = [rec for rec in records if rec.status == "up"]
         if len(records) < processors:
             raise NoFeasibleHostError(
                 f"site {self.repository.site!r}: task {node.node_id!r} "

@@ -1,0 +1,335 @@
+"""Branch-and-bound optimal reference scheduler for small AFGs.
+
+The heuristics (site scheduler, HEFT, the baselines) can only be judged
+against a known optimum.  This module searches the full assignment space
+— every feasible (site, host) per task — for the allocation minimising
+the **predicted schedule length** as evaluated by
+:func:`repro.scheduling.makespan.evaluate_schedule`, i.e. exactly the
+objective every registered scheduler is scored on in the bake-off.
+
+The search walks tasks in the same fixed list-schedule order the
+evaluator replays (the :class:`~repro.scheduling.levels.ReadySet`
+priority order, which depends only on the graph), so the incremental
+timeline maintained during the search *is* the evaluator's timeline and
+the returned makespan is exact, not a bound.  Partial schedules are
+pruned on an admissible lower bound: the current partial makespan, and
+for every unscheduled task its earliest data-ready time plus the
+cheapest-duration critical path to an exit node (communication and host
+contention can only add to that).  A node budget guards against
+accidental use on large graphs — exhaustive search is exponential and
+meant for ground truth on ≲10-task AFGs (ISSUE/ROADMAP item 2;
+cf. the FlexDAR branch-and-bound comparator in SNIPPETS.md Snippet 3).
+
+:func:`brute_force_search` enumerates the entire space without pruning;
+the differential tests assert it agrees with the branch-and-bound on
+tiny graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.afg.graph import ApplicationFlowGraph, TaskNode
+from repro.net.topology import Topology
+from repro.obs import OBS_OFF, Observability
+from repro.prediction.predict import PerformancePredictor
+from repro.repository.site_repository import SiteRepository
+from repro.scheduling.allocation import (
+    AllocationEntry,
+    ResourceAllocationTable,
+)
+from repro.scheduling.levels import ReadySet, compute_levels
+from repro.scheduling.registry import (
+    SchedulerContext,
+    register_scheduler,
+)
+from repro.util.errors import NoFeasibleHostError, SchedulingError
+
+#: One assignment option for one task: (site, hosts, predicted seconds).
+Candidate = tuple[str, tuple[str, ...], float]
+
+
+@dataclass
+class SearchStats:
+    """Diagnostics of one branch-and-bound run."""
+
+    tasks: int = 0
+    candidates_total: int = 0
+    nodes_explored: int = 0
+    nodes_pruned: int = 0
+    makespan_s: float = 0.0
+    proven_optimal: bool = True
+
+
+class OptimalScheduler:
+    """Exhaustive (branch-and-bound) schedule-length minimiser.
+
+    Same federation view as every other scheduler: predicted durations
+    via ``Predict`` against the repositories — no ground-truth peeking.
+    ``node_budget`` bounds the number of partial schedules expanded; the
+    search raises :class:`SchedulingError` when exceeded rather than
+    silently returning a non-optimal table.
+    """
+
+    name = "optimal"
+
+    def __init__(self, repositories: dict[str, SiteRepository],
+                 topology: Topology,
+                 predictor_factory: Callable[
+                     [SiteRepository], PerformancePredictor] | None = None,
+                 node_budget: int = 2_000_000,
+                 obs: Observability | None = None) -> None:
+        if node_budget < 1:
+            raise SchedulingError("node_budget must be >= 1")
+        self.repositories = repositories
+        self.topology = topology
+        self._predictor_factory = predictor_factory or (
+            lambda repo: PerformancePredictor(repo.task_performance))
+        self.node_budget = node_budget
+        self.obs = obs if obs is not None else OBS_OFF
+
+    # -- candidate generation ---------------------------------------------
+    def _site_candidates(self, node: TaskNode, site: str,
+                         repo: SiteRepository) -> list[Candidate]:
+        """Feasible candidates at one site (one per host; parallel tasks
+        get the site's single best multi-host pick, like Figure 5)."""
+        predictor = self._predictor_factory(repo)
+        records = []
+        for rec in repo.resource_performance.hosts_at(site):
+            if rec.status != "up":
+                continue
+            if node.properties.machine_type is not None and \
+                    rec.arch != node.properties.machine_type:
+                continue
+            if not repo.task_constraints.is_runnable_on(
+                    node.task_name, rec.address):
+                continue
+            records.append(rec)
+        props = node.properties
+        processors = (props.processors
+                      if props.computation_mode == "parallel" else 1)
+        if processors > 1:
+            if len(records) < processors:
+                return []
+            preds = sorted(
+                (predictor.predict(node.definition, props.input_size, rec,
+                                   processors=processors)
+                 for rec in records),
+                key=lambda p: (p.estimate_s, p.host))
+            chosen = preds[:processors]
+            return [(site, tuple(p.host for p in chosen),
+                     max(p.estimate_s for p in chosen))]
+        return [
+            (site, (rec.address,),
+             predictor.predict(node.definition, props.input_size,
+                               rec).estimate_s)
+            for rec in records
+        ]
+
+    def candidates_for(self, graph: ApplicationFlowGraph
+                       ) -> dict[str, list[Candidate]]:
+        """Every task's feasible assignment options, deterministic order.
+
+        An achievable site preference is honoured as a hard filter, the
+        same policy the site scheduler applies.
+        """
+        out: dict[str, list[Candidate]] = {}
+        for nid in graph.topological_order():
+            node = graph.node(nid)
+            per_site: dict[str, list[Candidate]] = {}
+            for site, repo in sorted(self.repositories.items()):
+                cands = self._site_candidates(node, site, repo)
+                if cands:
+                    per_site[site] = cands
+            preferred = node.properties.preferred_site
+            if preferred is not None and preferred in per_site:
+                per_site = {preferred: per_site[preferred]}
+            options = [c for site in sorted(per_site)
+                       for c in per_site[site]]
+            if not options:
+                raise NoFeasibleHostError(
+                    f"optimal: no feasible host anywhere for {nid!r} "
+                    f"({node.task_name})")
+            # cheapest-duration first: good incumbents early
+            options.sort(key=lambda c: (c[2], c[0], c[1]))
+            out[nid] = options
+        return out
+
+    # -- the search -------------------------------------------------------
+    def search(self, graph: ApplicationFlowGraph
+               ) -> tuple[ResourceAllocationTable, SearchStats]:
+        """Branch-and-bound over the full assignment space."""
+        graph.validate()
+        levels = compute_levels(graph)
+        # The evaluator's fixed replay order (independent of assignment).
+        order: list[str] = []
+        ready = ReadySet(graph, levels)
+        while ready:
+            order.append(ready.pop())
+        if len(order) != len(graph):
+            raise SchedulingError("scheduling order missed nodes (cycle?)")
+        candidates = self.candidates_for(graph)
+        # Admissible tail bound: cheapest duration per task, propagated as
+        # a min-duration critical path down to the exits.
+        min_dur = {nid: min(c[2] for c in cands)
+                   for nid, cands in candidates.items()}
+        down_lb: dict[str, float] = {}
+        for nid in reversed(graph.topological_order()):
+            down_lb[nid] = min_dur[nid] + max(
+                (down_lb[c] for c in graph.successors(nid)), default=0.0)
+        parents = {nid: graph.predecessors(nid) for nid in order}
+        out_bytes = {nid: graph.node(nid).output_bytes() for nid in order}
+
+        stats = SearchStats(
+            tasks=len(order),
+            candidates_total=sum(len(c) for c in candidates.values()))
+        best_makespan = float("inf")
+        best_assignment: dict[str, Candidate] | None = None
+
+        assignment: dict[str, Candidate] = {}
+        finish: dict[str, float] = {}
+        host_free: dict[str, float] = {}
+        topology = self.topology
+
+        def tail_bound(next_idx: int, makespan: float) -> float:
+            bound = makespan
+            for nid in order[next_idx:]:
+                ready_lb = max((finish[p] for p in parents[nid]
+                                if p in finish), default=0.0)
+                lb = ready_lb + down_lb[nid]
+                if lb > bound:
+                    bound = lb
+            return bound
+
+        def descend(idx: int, makespan: float) -> None:
+            nonlocal best_makespan, best_assignment
+            if idx == len(order):
+                if makespan < best_makespan:
+                    best_makespan = makespan
+                    best_assignment = dict(assignment)
+                return
+            nid = order[idx]
+            for cand in candidates[nid]:
+                stats.nodes_explored += 1
+                if stats.nodes_explored > self.node_budget:
+                    raise SchedulingError(
+                        f"optimal: node budget {self.node_budget} "
+                        f"exceeded on {graph.name!r} ({len(order)} tasks); "
+                        f"reserve the optimal reference for small AFGs")
+                site, hosts, duration = cand
+                # replay exactly evaluate_schedule's arrival rule
+                arrival = 0.0
+                for p in parents[nid]:
+                    p_site, p_hosts, _ = assignment[p]
+                    if p_site != site:
+                        t = topology.transfer_time(p_site, site,
+                                                   out_bytes[p])
+                    elif p_hosts[0] != hosts[0]:
+                        t = topology.lan(site).transfer_time(out_bytes[p])
+                    else:
+                        t = 0.0
+                    arrival = max(arrival, finish[p] + t)
+                resource_free = max((host_free.get(h, 0.0) for h in hosts),
+                                    default=0.0)
+                start = max(arrival, resource_free)
+                fin = start + duration
+                new_makespan = max(makespan, fin)
+                if tail_bound(idx + 1, new_makespan) >= best_makespan:
+                    stats.nodes_pruned += 1
+                    continue
+                assignment[nid] = cand
+                finish[nid] = fin
+                saved = {h: host_free.get(h) for h in hosts}
+                for h in hosts:
+                    host_free[h] = fin
+                descend(idx + 1, new_makespan)
+                del assignment[nid]
+                del finish[nid]
+                for h, old in saved.items():
+                    if old is None:
+                        del host_free[h]
+                    else:
+                        host_free[h] = old
+
+        descend(0, 0.0)
+        if best_assignment is None:  # pragma: no cover - defensive
+            raise SchedulingError("optimal: search found no assignment")
+        stats.makespan_s = best_makespan
+        table = _table_from_assignment(graph, best_assignment)
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "optimal_schedules_total",
+                help="branch-and-bound reference schedules computed").inc()
+            obs.metrics.counter(
+                "optimal_nodes_explored_total",
+                help="partial schedules expanded by branch-and-bound").inc(
+                    float(stats.nodes_explored))
+        return table, stats
+
+    def schedule(self, graph: ApplicationFlowGraph
+                 ) -> ResourceAllocationTable:
+        """The registry contract: graph in, allocation table out."""
+        table, _ = self.search(graph)
+        return table
+
+
+def _table_from_assignment(graph: ApplicationFlowGraph,
+                           assignment: dict[str, Candidate]
+                           ) -> ResourceAllocationTable:
+    table = ResourceAllocationTable(application=graph.name)
+    for nid in graph.topological_order():
+        site, hosts, duration = assignment[nid]
+        node = graph.node(nid)
+        table.assign(AllocationEntry(
+            node_id=nid, task_name=node.task_name, site=site,
+            hosts=hosts, predicted_time_s=duration,
+            processors=len(hosts)))
+    return table
+
+
+def brute_force_search(
+    graph: ApplicationFlowGraph,
+    repositories: dict[str, SiteRepository],
+    topology: Topology,
+    predictor_factory: Callable[
+        [SiteRepository], PerformancePredictor] | None = None,
+    max_combinations: int = 500_000,
+) -> tuple[ResourceAllocationTable, float]:
+    """Enumerate *every* assignment and return the best (no pruning).
+
+    The differential oracle for :class:`OptimalScheduler`: O(hosts^tasks)
+    and guarded by *max_combinations*, so only for tiny AFGs.
+    """
+    from repro.scheduling.makespan import evaluate_schedule
+
+    reference = OptimalScheduler(repositories, topology,
+                                 predictor_factory=predictor_factory)
+    candidates = reference.candidates_for(graph)
+    node_ids = graph.topological_order()
+    total = 1
+    for nid in node_ids:
+        total *= len(candidates[nid])
+        if total > max_combinations:
+            raise SchedulingError(
+                f"brute force would enumerate > {max_combinations} "
+                f"assignments for {graph.name!r}")
+    best_table: ResourceAllocationTable | None = None
+    best_makespan = float("inf")
+    for combo in itertools.product(*(candidates[nid] for nid in node_ids)):
+        table = _table_from_assignment(
+            graph, dict(zip(node_ids, combo)))
+        makespan = evaluate_schedule(graph, table, topology).makespan
+        if makespan < best_makespan:
+            best_makespan = makespan
+            best_table = table
+    if best_table is None:  # pragma: no cover - candidates never empty
+        raise SchedulingError("brute force found no assignment")
+    return best_table, best_makespan
+
+
+@register_scheduler("optimal")
+def _optimal_factory(ctx: SchedulerContext) -> OptimalScheduler:
+    return OptimalScheduler(ctx.repositories, ctx.topology, obs=ctx.obs)

@@ -26,9 +26,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Any
+
 from repro.afg.graph import ApplicationFlowGraph
 from repro.net.topology import Topology
 from repro.obs import OBS_OFF, Observability
+from repro.prediction.predict import PerformancePredictor
 from repro.scheduling.allocation import AllocationEntry, ResourceAllocationTable
 from repro.scheduling.host_selection import (
     HostChoice,
@@ -36,6 +39,7 @@ from repro.scheduling.host_selection import (
     HostSelector,
 )
 from repro.scheduling.levels import ReadySet, compute_levels
+from repro.scheduling.registry import SchedulerContext, register_scheduler
 from repro.util.errors import NoFeasibleHostError, SchedulingError
 
 
@@ -242,3 +246,68 @@ class SiteScheduler:
             s for s in self.select_remote_sites() if s in selectors]
         results = {site: selectors[site].select(graph) for site in consulted}
         return self.schedule(graph, results, levels=levels)
+
+
+class FederatedSiteScheduler:
+    """Registry adapter: the whole VDCE pipeline as a one-call scheduler.
+
+    Builds a per-site :class:`HostSelector` federation (Figure 5) and
+    runs the :class:`SiteScheduler` walk (Figure 4) in-process, so the
+    paper's algorithm satisfies the same ``schedule(graph) -> table``
+    contract as every baseline.  ``predictor_kwargs`` forwards ablation
+    toggles to :class:`~repro.prediction.predict.PerformancePredictor`
+    — the ``prediction-blind`` registration cripples every Predict term,
+    isolating the value of the prediction machinery itself.
+    """
+
+    def __init__(self, ctx: SchedulerContext, name: str = "site",
+                 queue_aware: bool = False,
+                 k_remote_sites: int | None = None,
+                 predictor_kwargs: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.repositories = ctx.repositories
+        self._selectors = {
+            site: HostSelector(repo, predictor=PerformancePredictor(
+                repo.task_performance, **(predictor_kwargs or {})))
+            for site, repo in sorted(ctx.repositories.items())
+        }
+        k = ctx.k_remote_sites if k_remote_sites is None else k_remote_sites
+        self._scheduler = SiteScheduler(
+            ctx.local_site, ctx.topology, k_remote_sites=k,
+            queue_aware=queue_aware, obs=ctx.obs)
+        self.last_report: ScheduleReport | None = None
+
+    def schedule(self, graph: ApplicationFlowGraph
+                 ) -> ResourceAllocationTable:
+        table, report = self._scheduler.schedule_with_selectors(
+            graph, self._selectors)
+        self.last_report = report
+        return table
+
+
+@register_scheduler("site")
+def _site_factory(ctx: SchedulerContext) -> FederatedSiteScheduler:
+    return FederatedSiteScheduler(ctx, name="site")
+
+
+@register_scheduler("site-queue-aware")
+def _site_queue_aware_factory(ctx: SchedulerContext
+                              ) -> FederatedSiteScheduler:
+    return FederatedSiteScheduler(ctx, name="site-queue-aware",
+                                  queue_aware=True)
+
+
+@register_scheduler("site-local")
+def _site_local_factory(ctx: SchedulerContext) -> FederatedSiteScheduler:
+    """The k=0 ablation: never consult a remote site."""
+    return FederatedSiteScheduler(ctx, name="site-local", k_remote_sites=0)
+
+
+@register_scheduler("prediction-blind")
+def _prediction_blind_factory(ctx: SchedulerContext
+                              ) -> FederatedSiteScheduler:
+    """The pipeline with every Predict(task, R) term disabled."""
+    return FederatedSiteScheduler(
+        ctx, name="prediction-blind",
+        predictor_kwargs={"use_weight": False, "use_load": False,
+                          "use_memory": False})

@@ -172,3 +172,42 @@ class TestPlanCommand:
         assert main(["plan", "--app", "linear-solver", "--size", "200",
                      "--deadline", "0.001", "--max-hosts", "2"]) == 1
         assert "infeasible" in capsys.readouterr().out
+
+
+class TestBakeoffCommand:
+    def test_table_and_json(self, capsys, tmp_path):
+        out_json = tmp_path / "bakeoff.json"
+        assert main(["bakeoff", "--schedulers", "heft,random,optimal",
+                     "--workloads", "forkjoin-small",
+                     "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "forkjoin-small" in out
+        assert "optimality_gap" in out
+        import json
+        payload = json.loads(out_json.read_text())
+        assert payload["kind"] == "bakeoff"
+        assert {r["scheduler"] for r in payload["rows"]} == \
+            {"heft", "random", "optimal"}
+
+    def test_check_against_fresh_baseline(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        args = ["bakeoff", "--schedulers", "heft,site",
+                "--workloads", "pipeline-small"]
+        assert main(args + ["--json", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(args + ["--check", str(baseline)]) == 0
+        assert "OK: no optimality-gap regressions" in \
+            capsys.readouterr().out
+
+    def test_obs_summary(self, capsys):
+        assert main(["bakeoff", "--schedulers", "heft,min-load",
+                     "--workloads", "forkjoin-small", "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule rounds observed: 2" in out
+        assert "2 schedule-round spans" in out
+
+    def test_unknown_scheduler_fails(self):
+        from repro.util.errors import SchedulingError
+        with pytest.raises(SchedulingError, match="unknown scheduler"):
+            main(["bakeoff", "--schedulers", "annealing",
+                  "--workloads", "forkjoin-small"])

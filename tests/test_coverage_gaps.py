@@ -242,3 +242,108 @@ class TestPublicTestingHelpers:
         repo = fed.repositories["a"]
         assert repo.task_performance.has_weight("lu-decomposition", "a/h0")
         assert repo.task_constraints.is_runnable_on("fft-1d", "a/h1")
+
+
+class TestMakespanEvaluatorPaths:
+    """makespan.py paths the bake-off scoring leans on (ISSUE 6 sat. 4)."""
+
+    def _scored_table(self, registry):
+        from repro.scheduling import SchedulerContext, create_scheduler
+        from repro.workloads import fork_join_graph
+        fed = build_federation(registry=registry)
+        graph = fork_join_graph(registry, width=2, size=256)
+        ctx = SchedulerContext(repositories=fed.repositories,
+                               topology=fed.topology,
+                               local_site="syracuse")
+        return fed, graph, create_scheduler("heft", ctx).schedule(graph)
+
+    def test_empty_timeline_defaults(self):
+        from repro.scheduling.makespan import Timeline
+        tl = Timeline()
+        assert tl.makespan == 0.0
+        assert tl.total_transfer() == 0.0
+
+    def test_duration_fn_override_changes_makespan(self, registry):
+        fed, graph, table = self._scored_table(registry)
+        default = evaluate_schedule(graph, table, fed.topology)
+        unit = evaluate_schedule(graph, table, fed.topology,
+                                 duration_fn=lambda nid: 1.0)
+        assert default.makespan != unit.makespan
+        # every task lasts exactly 1s under the constant model
+        assert all(unit.finish[n] - unit.start[n] == 1.0
+                   for n in graph.nodes)
+
+    def test_levels_reuse_matches_recompute(self, registry):
+        from repro.scheduling.levels import compute_levels
+        fed, graph, table = self._scored_table(registry)
+        fresh = evaluate_schedule(graph, table, fed.topology)
+        reused = evaluate_schedule(graph, table, fed.topology,
+                                   levels=compute_levels(graph))
+        assert fresh.start == reused.start
+        assert fresh.finish == reused.finish
+
+    def test_predicted_vs_ground_truth_duration_fns(self, registry):
+        """The two bake-off duration models are both pluggable views of
+        the same evaluator, and they disagree once true loads move."""
+        from repro.bakeoff import (ground_truth_durations,
+                                   repository_predicted_durations)
+        fed, graph, table = self._scored_table(registry)
+        for host in fed.hosts.values():
+            host.true_load = 0.9  # repository still believes idle
+        predicted = evaluate_schedule(
+            graph, table, fed.topology,
+            duration_fn=repository_predicted_durations(graph, table, fed))
+        simulated = evaluate_schedule(
+            graph, table, fed.topology,
+            duration_fn=ground_truth_durations(graph, table, fed))
+        assert simulated.makespan > predicted.makespan
+
+
+class TestQoSAdmission:
+    """qos.py admission paths, driven through bake-off-scored tables."""
+
+    def _schedule(self, registry):
+        from repro.scheduling import SchedulerContext, create_scheduler
+        from repro.workloads import fourier_pipeline_graph
+        fed = build_federation(registry=registry)
+        graph = fourier_pipeline_graph(registry, n=512, stages=1)
+        ctx = SchedulerContext(repositories=fed.repositories,
+                               topology=fed.topology,
+                               local_site="syracuse")
+        return fed, graph, create_scheduler("site", ctx).schedule(graph)
+
+    def test_no_deadline_always_admitted(self, registry):
+        from repro.scheduling.qos import QoSRequirement, assess_schedule
+        fed, graph, table = self._schedule(registry)
+        verdict = assess_schedule(graph, table, fed.topology,
+                                  QoSRequirement())
+        assert verdict.admitted
+        assert verdict.deadline_s is None and verdict.margin_s is None
+        assert verdict.predicted_length_s > 0
+
+    def test_generous_deadline_admitted_with_margin(self, registry):
+        from repro.scheduling.qos import QoSRequirement, assess_schedule
+        fed, graph, table = self._schedule(registry)
+        verdict = assess_schedule(graph, table, fed.topology,
+                                  QoSRequirement(deadline_s=3600.0))
+        assert verdict.admitted
+        assert verdict.margin_s == pytest.approx(
+            3600.0 - verdict.predicted_length_s)
+
+    def test_tight_deadline_rejected_and_raises(self, registry):
+        from repro.scheduling.qos import (QoSRequirement, assess_schedule,
+                                          require_admission)
+        from repro.util.errors import QoSViolationError
+        fed, graph, table = self._schedule(registry)
+        tight = QoSRequirement(deadline_s=1e-9)
+        assert not assess_schedule(graph, table, fed.topology,
+                                   tight).admitted
+        with pytest.raises(QoSViolationError, match="exceeds deadline"):
+            require_admission(graph, table, fed.topology, tight)
+
+    def test_requirement_validation(self):
+        from repro.scheduling.qos import QoSRequirement
+        with pytest.raises(ConfigurationError):
+            QoSRequirement(deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            QoSRequirement(max_host_load=-1.0)
