@@ -15,7 +15,7 @@ monitoring-traffic experiment (F6) and the setup-cost experiment (F7).
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -85,15 +85,22 @@ class Network:
 
     __slots__ = ("env", "topology", "tracer", "per_message_overhead_s",
                  "stats", "_mailboxes", "is_up", "fault_hook", "obs",
+                 "batching",
                  "_m_messages", "_m_bytes", "_m_dropped", "_m_delay")
 
     def __init__(self, env: Environment, topology: Topology,
                  tracer: Tracer | None = None,
-                 per_message_overhead_s: float = 1e-4) -> None:
+                 per_message_overhead_s: float = 1e-4,
+                 batching: bool = True) -> None:
         self.env = env
         self.topology = topology
         self.tracer = tracer or Tracer(enabled=False)
         self.per_message_overhead_s = per_message_overhead_s
+        #: coalesce same-tick fan-outs (:meth:`send_batch`) into vector
+        #: heap entries; ``False`` degrades every batch to a loop of
+        #: :meth:`send` — byte-identical traces either way (the chaos CI
+        #: jobs assert exactly that), just slower.
+        self.batching = batching
         self.stats = TrafficStats()
         self._mailboxes: dict[str, Store] = {}
         #: predicate deciding whether the *host* owning an address is up;
@@ -240,12 +247,148 @@ class Network:
             env.process(deliver(env), name=f"deliver:{kind}")
         return msg
 
+    def _deliver_entries(self, entries) -> None:
+        """Arrival callback for one batched delivery run.
+
+        *entries* is the ``(mailbox, message, dst_host)`` list one
+        :meth:`send_batch` heap entry accumulated; per-message semantics
+        (the mid-flight down check and its drop accounting) match the
+        unbatched ``deliver`` process exactly, in list order — which is
+        send order, the same order per-message heap entries would pop.
+        """
+        is_up = self.is_up
+        for box, msg, dst_host in entries:
+            if is_up(dst_host):
+                box.put_nowait(msg)
+            else:
+                self.stats.dropped += 1
+                if self.obs.enabled:
+                    self._m_dropped.inc(reason="mid-flight")
+
+    def send_batch(self, src: str, dsts: Sequence[str], kind: str,
+                   payload=None, size_bytes: float = 256.0,
+                   payloads: Sequence | None = None,
+                   sizes: Sequence[float] | None = None) -> list[Message]:
+        """Send to several destinations in one coalesced operation.
+
+        Semantically a loop of :meth:`send` — same per-message stats,
+        tracer records, obs metrics/spans, and fault-hook consultations
+        (in *dsts* order, so injector RNG draws are unchanged) — but
+        consecutive messages sharing a modelled delay ride **one** heap
+        entry and one arrival callback instead of a delivery process
+        each.  Fan-outs inside a site (echo rounds, start signals to
+        co-located controllers, WAL shipping to LAN standbys) therefore
+        cost O(runs) kernel work rather than O(messages).
+
+        *payloads* / *sizes*, when given, are per-destination overrides
+        aligned with *dsts* (the allocation push sends a different
+        portion to every host).  With ``self.batching`` false the call
+        degrades to the plain loop, which the chaos byte-identity CI
+        probes compare against.
+        """
+        if payloads is not None and len(payloads) != len(dsts):
+            raise ConfigurationError("payloads must align with dsts")
+        if sizes is not None and len(sizes) != len(dsts):
+            raise ConfigurationError("sizes must align with dsts")
+        if not self.batching:
+            return [
+                self.send(src, dsts[i], kind,
+                          payload if payloads is None else payloads[i],
+                          size_bytes if sizes is None else sizes[i])
+                for i in range(len(dsts))
+            ]
+        env = self.env
+        now = env._now
+        stats = self.stats
+        tracer = self.tracer
+        obs = self.obs
+        fault_hook = self.fault_hook
+        is_up = self.is_up
+        mailboxes = self._mailboxes
+        transfer_time = self.topology.transfer_time
+        overhead = self.per_message_overhead_s
+        src_site, src_host = split_address(src)
+        src_up = is_up(src_host)
+        by_kind = stats.by_kind
+        bytes_by_kind = stats.bytes_by_kind
+        messages: list[Message] = []
+        # the open run: consecutive messages with the same delay share it
+        run_entries: list | None = None
+        run_delay = -1.0
+        for i in range(len(dsts)):
+            dst = dsts[i]
+            pl = payload if payloads is None else payloads[i]
+            nbytes = size_bytes if sizes is None else sizes[i]
+            msg = Message(src=src, dst=dst, kind=kind, payload=pl,
+                          size_bytes=nbytes, send_time=now)
+            messages.append(msg)
+            box = mailboxes.get(dst)
+            if box is None:
+                raise ChannelError(f"no endpoint registered at {dst!r}")
+            dst_site, dst_host = split_address(dst)
+            stats.messages += 1
+            stats.bytes += nbytes
+            by_kind[kind] += 1
+            bytes_by_kind[kind] += nbytes
+            if tracer.enabled:
+                tracer.record(now, f"net:{kind}", src, dst=dst,
+                              bytes=nbytes)
+            if obs.enabled:
+                self._m_messages.inc(kind=kind)
+                self._m_bytes.inc(nbytes, kind=kind)
+            if not (is_up(dst_host) and src_up):
+                stats.dropped += 1
+                if tracer.enabled:
+                    tracer.record(now, "net:dropped", src, dst=dst,
+                                  kind=kind)
+                if obs.enabled:
+                    self._m_dropped.inc(reason="host-down")
+                continue
+            action = fault_hook(msg) if fault_hook is not None else None
+            if action is not None and action.drop:
+                stats.dropped += 1
+                stats.injected_drops += 1
+                if tracer.enabled:
+                    tracer.record(now, "net:injected-drop", src, dst=dst,
+                                  kind=kind)
+                if obs.enabled:
+                    self._m_dropped.inc(reason="injected")
+                continue
+            if src_host == dst_host:
+                wire = 1e-5 + nbytes / 1e9  # loopback
+            else:
+                wire = transfer_time(src_site, dst_site, nbytes)
+            delay = wire + overhead
+            copies = 1
+            if action is not None:
+                delay = delay * action.delay_multiplier + action.extra_delay_s
+                copies += action.duplicates
+                stats.injected_duplicates += action.duplicates
+            if obs.enabled:
+                self._m_delay.observe(delay, kind=kind)
+                if obs.current_parent is not None:
+                    obs.spans.complete(
+                        kind, "message-delivery", src, now, now + delay,
+                        parent_id=obs.current_parent, dst=dst,
+                        bytes=nbytes)
+            if run_entries is None or delay != run_delay:
+                # new run: one heap entry; the list keeps growing until
+                # the entry fires (strictly later in simulated time)
+                run_entries = []
+                run_delay = delay
+                env.call_later(delay, self._deliver_entries, run_entries)
+            for _ in range(copies):
+                run_entries.append((box, msg, dst_host))
+        return messages
+
     def multicast(self, src: str, dsts: Iterable[str], kind: str,
                   payload=None, size_bytes: float = 256.0) -> list[Message]:
         """Send the same payload to several destinations.
 
         The paper's Site Scheduler multicasts the AFG to the selected
         remote sites (Figure 4 step 3); we model multicast as unicast
-        fan-out, which is what a mid-90s IP WAN would do.
+        fan-out, which is what a mid-90s IP WAN would do — now coalesced
+        through :meth:`send_batch`.
         """
-        return [self.send(src, d, kind, payload, size_bytes) for d in dsts]
+        dsts = dsts if isinstance(dsts, (list, tuple)) else list(dsts)
+        return self.send_batch(src, dsts, kind, payload, size_bytes)

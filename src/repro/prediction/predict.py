@@ -81,9 +81,26 @@ class PerformancePredictor:
         self.use_memory = use_memory
         self._cache: dict[CacheKey, Prediction] = {}
 
-    def invalidate(self) -> None:
-        """Drop every memoized evaluation (out-of-band record changes)."""
-        self._cache.clear()
+    def invalidate(self, host: str | None = None,
+                   task: str | None = None) -> None:
+        """Drop memoized evaluations, optionally targeted.
+
+        With no arguments: drop everything (out-of-band record changes
+        that bypassed the version stamps).  With *host* and/or *task*:
+        drop only the entries for that host address / task definition —
+        membership churn (a host unregistering) or a task redefinition
+        no longer flushes the whole memo table, so the surviving entries
+        keep serving the next scheduling round warm.
+        """
+        cache = self._cache
+        if host is None and task is None:
+            cache.clear()
+            return
+        dead = [key for key in cache
+                if (host is None or key[3] == host)
+                and (task is None or key[0] == task)]
+        for key in dead:
+            del cache[key]
 
     # -- components -------------------------------------------------------
     def weight_for(self, definition: TaskDefinition,
@@ -160,6 +177,16 @@ class PerformancePredictor:
         return (base * self.weight_for(definition, record)
                 * (1.0 + self.load_forecast_for(record))
                 * self.memory_penalty_for(definition, input_size, record))
+
+    def estimate(self, definition: TaskDefinition, input_size: float,
+                 record: ResourceRecord, processors: int = 1) -> float:
+        """Public scalar Predict(task, R): estimate without diagnostics.
+
+        The incremental host-selection views score thousands of
+        candidates per delta batch; this is the allocation-free entry
+        point they use.
+        """
+        return self._estimate(definition, input_size, record, processors)
 
     def best_host(self, definition: TaskDefinition, input_size: float,
                   records: list[ResourceRecord],

@@ -60,11 +60,9 @@ class ServerHeartbeatDaemon:
             seq += 1
             # a down server's sends are dropped by the network layer;
             # keeping the loop alive models the machine, not the role
-            for standby in self.standby_addrs:
-                self.network.send(self.address, standby, SERVER_HEARTBEAT,
-                                  payload={"site": self.site.name,
-                                           "seq": seq},
-                                  size_bytes=32)
+            self.network.send_batch(
+                self.address, self.standby_addrs, SERVER_HEARTBEAT,
+                payload={"site": self.site.name, "seq": seq}, size_bytes=32)
             self.beats_sent += 1
 
     def stop(self) -> None:

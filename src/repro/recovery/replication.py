@@ -50,9 +50,9 @@ class ReplicationShipper:
     def log(self, kind: str, payload: dict[str, Any]) -> WalRecord:
         """Record one mutation and ship it to the standbys."""
         record = self.wal.append(kind, payload, t=self.env.now)
-        for standby in self.standby_addrs:
-            self.network.send(
-                self.src_address, standby, WAL_APPEND,
+        if self.standby_addrs:
+            self.network.send_batch(
+                self.src_address, self.standby_addrs, WAL_APPEND,
                 payload={"lsn": record.lsn, "t": record.t,
                          "kind": record.kind, "data": record.payload},
                 size_bytes=192)

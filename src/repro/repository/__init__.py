@@ -1,5 +1,6 @@
 """Site repository: the four per-site databases of the paper."""
 
+from repro.repository.delta import MAX_JOURNAL, DeltaEvent, DeltaTracker
 from repro.repository.resource_perf import (
     DEFAULT_WINDOW,
     ResourcePerformanceDB,
@@ -23,7 +24,10 @@ from repro.repository.user_accounts import (
 __all__ = [
     "ACCESS_DOMAINS",
     "DEFAULT_WINDOW",
+    "DeltaEvent",
+    "DeltaTracker",
     "ExecutionSample",
+    "MAX_JOURNAL",
     "ResourcePerformanceDB",
     "RepositoryWebServer",
     "ResourceRecord",

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.repository.delta import DeltaCallback
 from repro.repository.store import Table
 from repro.resources.host import HostSpec
 from repro.util.errors import NotRegisteredError
@@ -68,10 +69,25 @@ class ResourcePerformanceDB:
         # with a fresh value, so (address, version) pairs never repeat —
         # even across unregister/re-register of the same host.
         self._version_clock = 0
+        self._subscribers: list[DeltaCallback] = []
+
+    def subscribe(self, callback: DeltaCallback) -> None:
+        """Register a delta callback ``cb(kind, a, b)`` (INV002 sink).
+
+        Callbacks run synchronously in subscription order on every
+        mutation — the :class:`~repro.repository.delta.DeltaTracker`
+        journal therefore sees events in exactly mutation order.
+        """
+        self._subscribers.append(callback)
+
+    def _notify(self, kind: str, a: str = "", b: str = "") -> None:
+        for cb in self._subscribers:
+            cb(kind, a, b)
 
     def _stamp(self, rec: ResourceRecord) -> None:
         self._version_clock += 1
         rec.version = self._version_clock
+        self._notify("host", rec.address)
 
     # -- registration ----------------------------------------------------
     def register_host(self, site: str, spec: HostSpec) -> ResourceRecord:
@@ -91,6 +107,10 @@ class ResourcePerformanceDB:
         if address not in self._records:
             raise NotRegisteredError(f"no resource record for {address!r}")
         del self._records[address]
+        # bump the clock too: a re-registration of the same address must
+        # never reuse a (address, version) pair the removal interleaved
+        self._version_clock += 1
+        self._notify("host-removed", address)
 
     # -- dynamic updates (driven by the Site Manager) ----------------------
     def update_dynamic(self, address: str, cpu_load: float,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.repository.delta import DeltaTracker
 from repro.repository.resource_perf import ResourcePerformanceDB
 from repro.repository.task_constraints import TaskConstraintsDB
 from repro.repository.task_perf import TaskPerformanceDB
@@ -26,6 +27,19 @@ class SiteRepository:
         self.resource_performance = ResourcePerformanceDB()
         self.task_performance = TaskPerformanceDB()
         self.task_constraints = TaskConstraintsDB()
+        self.delta = DeltaTracker()
+        self._wire_delta()
+
+    def _wire_delta(self) -> None:
+        """Subscribe the shared change journal to the mutable databases.
+
+        Every incremental consumer (score views, targeted prediction
+        invalidation) cursors on ``self.delta``; re-wired whenever a
+        database instance is replaced (:meth:`load`).
+        """
+        self.resource_performance.subscribe(self.delta.record)
+        self.task_performance.subscribe(self.delta.record)
+        self.task_constraints.subscribe(self.delta.record)
 
     # -- persistence -----------------------------------------------------
     _FILES = {
@@ -59,4 +73,8 @@ class SiteRepository:
             directory / cls._FILES["task_performance"])
         repo.task_constraints = TaskConstraintsDB.load(
             directory / cls._FILES["task_constraints"])
+        # the freshly-loaded DB instances replaced the subscribed ones:
+        # start a new journal generation and re-subscribe
+        repo.delta = DeltaTracker()
+        repo._wire_delta()
         return repo

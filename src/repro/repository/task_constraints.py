@@ -15,26 +15,55 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.repository.delta import DeltaCallback
 from repro.repository.store import Table, composite_key
 from repro.util.errors import NotRegisteredError
+from repro.util.versioned import versioned
 
 
+@versioned("_version")
 class TaskConstraintsDB:
-    """Maps (task, host-address) to the executable's absolute path."""
+    """Maps (task, host-address) to the executable's absolute path.
+
+    Carries a version stamp like its sibling databases: constraint
+    edits gate *feasibility* rather than Predict values, so nothing
+    memoizes on the stamp, but the incremental scheduling layer needs
+    every mutation published (INV002) to keep its candidate views
+    honest when executables appear on or vanish from hosts.
+    """
 
     def __init__(self) -> None:
         self._table = Table("task-constraints")
         self._hosts_by_task: dict[str, set[str]] = {}
+        self._version = 0
+        self._subscribers: list[DeltaCallback] = []
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every constraint edit."""
+        return self._version
+
+    def subscribe(self, callback: DeltaCallback) -> None:
+        """Register a delta callback ``cb(kind, a, b)`` (INV002 sink)."""
+        self._subscribers.append(callback)
+
+    def _notify(self, kind: str, a: str = "", b: str = "") -> None:
+        for cb in self._subscribers:
+            cb(kind, a, b)
 
     def register_executable(self, task_name: str, host: str,
                             path: str) -> None:
         """Record that *host* has an executable for *task* at *path*."""
         self._table.put(composite_key(task_name, host), path)
         self._hosts_by_task.setdefault(task_name, set()).add(host)
+        self._version += 1
+        self._notify("constraint", task_name, host)
 
     def unregister_executable(self, task_name: str, host: str) -> None:
         self._table.delete(composite_key(task_name, host))
         self._hosts_by_task[task_name].discard(host)
+        self._version += 1
+        self._notify("constraint", task_name, host)
 
     def executable_path(self, task_name: str, host: str) -> str:
         """Absolute path of a task's executable on one host."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro.repository.delta import DeltaCallback
 from repro.repository.store import Table, composite_key
 from repro.util.errors import NotRegisteredError, RepositoryError
 from repro.util.versioned import versioned
@@ -68,6 +69,15 @@ class TaskPerformanceDB:
         self._weights: dict[str, float] = {}  # key: task|host
         self._history: dict[str, list[ExecutionSample]] = {}
         self._version = 0
+        self._subscribers: list[DeltaCallback] = []
+
+    def subscribe(self, callback: DeltaCallback) -> None:
+        """Register a delta callback ``cb(kind, a, b)`` (INV002 sink)."""
+        self._subscribers.append(callback)
+
+    def _notify(self, kind: str, a: str = "", b: str = "") -> None:
+        for cb in self._subscribers:
+            cb(kind, a, b)
 
     @property
     def version(self) -> int:
@@ -94,6 +104,7 @@ class TaskPerformanceDB:
             communication_size=communication_size, memory_mb=memory_mb)
         self._records[task_name] = rec
         self._version += 1
+        self._notify("task", task_name)
         return rec
 
     def get(self, task_name: str) -> TaskPerformanceRecord:
@@ -119,6 +130,7 @@ class TaskPerformanceDB:
         self.get(task_name)  # validate task exists
         self._weights[composite_key(task_name, host)] = weight
         self._version += 1
+        self._notify("weight", task_name, host)
 
     def weight(self, task_name: str, host: str,
                default: float | None = None) -> float:
@@ -167,6 +179,7 @@ class TaskPerformanceDB:
             else:
                 self._weights[key] = (1 - self.ALPHA) * prev + self.ALPHA * observed
             self._version += 1
+            self._notify("weight", task_name, host)
         self._history.setdefault(task_name, []).append(sample)
 
     def history(self, task_name: str,

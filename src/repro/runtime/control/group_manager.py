@@ -147,10 +147,12 @@ class GroupManager:
             self._replied = set()
             sent_at = self.env.now
             self._round_sent_at = sent_at
-            for host in self.member_hosts:
-                self.network.send(self.address, f"{host}/monitor",
-                                  ECHO_REQUEST, payload=self._echo_seq,
-                                  size_bytes=32)
+            # the per-round heartbeat fan-out is the hottest periodic
+            # send in the system: batch it (one heap entry per delay run)
+            self.network.send_batch(
+                self.address,
+                [f"{host}/monitor" for host in self.member_hosts],
+                ECHO_REQUEST, payload=self._echo_seq, size_bytes=32)
             yield self.env.timeout(self.echo_timeout_s)
             self._evaluate_round(sent_at)
 
@@ -212,14 +214,19 @@ class GroupManager:
         """Forward the related RAT portion to each assigned machine."""
         payload = msg.payload
         portions: dict[str, list] = payload["portions"]
+        dsts: list[str] = []
+        payloads: list[dict] = []
+        sizes: list[float] = []
         for host, entries in portions.items():
-            self.network.send(
-                self.address, f"{host}/appctl", EXECUTION_REQUEST,
-                payload={"application": payload["application"],
-                         "execution_id": payload["execution_id"],
-                         "entries": entries,
-                         "coordinator": payload["coordinator"]},
-                size_bytes=256 + 128 * len(entries))
+            dsts.append(f"{host}/appctl")
+            payloads.append({"application": payload["application"],
+                             "execution_id": payload["execution_id"],
+                             "entries": entries,
+                             "coordinator": payload["coordinator"]})
+            sizes.append(256 + 128 * len(entries))
+        if dsts:
+            self.network.send_batch(self.address, dsts, EXECUTION_REQUEST,
+                                    payloads=payloads, sizes=sizes)
 
     def stop(self) -> None:
         """Terminate the daemon's processes (simulation teardown)."""

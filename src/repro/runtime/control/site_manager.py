@@ -256,12 +256,15 @@ class SiteManager:
         # Local selection runs in-process (Figure 4 step 4 "for local site").
         pending.results[self.site.name] = self.selector.select(graph)
         if remote_sites:
-            for remote in remote_sites:
-                self.network.send(
-                    self.address, f"{remote}/server/{self.SERVICE}",
-                    AFG_MULTICAST,
-                    payload={"request_id": request_id, "graph": graph},
-                    size_bytes=256 + 128 * len(graph))
+            # step 3's multicast proper: one batched fan-out, one heap
+            # entry per distinct delay instead of one process per site
+            self.network.send_batch(
+                self.address,
+                [f"{remote}/server/{self.SERVICE}"
+                 for remote in remote_sites],
+                AFG_MULTICAST,
+                payload={"request_id": request_id, "graph": graph},
+                size_bytes=256 + 128 * len(graph))
             timeout = self.env.timeout(self.selection_timeout_s)
             yield self.env.any_of([pending.done, timeout])
         del self._pending[request_id]
@@ -314,19 +317,26 @@ class SiteManager:
             "controllers": sorted(state.controllers),
             "total_tasks": state.total_tasks,
             "coordinator": self.address, "by_site": by_site})
+        remote_dsts: list[str] = []
+        remote_payloads: list[Any] = []
+        remote_sizes: list[float] = []
         for site, portions in by_site.items():
             if site == self.site.name:
                 self._push_to_groups(portions, table.application,
                                      execution_id)
             else:
-                self.network.send(
-                    self.address, f"{site}/server/{self.SERVICE}",
-                    ALLOCATION_PUSH,
-                    payload={"application": table.application,
-                             "execution_id": execution_id,
-                             "portions": portions,
-                             "coordinator": self.address},
-                    size_bytes=256 + 128 * sum(map(len, portions.values())))
+                remote_dsts.append(f"{site}/server/{self.SERVICE}")
+                remote_payloads.append(
+                    {"application": table.application,
+                     "execution_id": execution_id,
+                     "portions": portions,
+                     "coordinator": self.address})
+                remote_sizes.append(
+                    256 + 128 * sum(map(len, portions.values())))
+        if remote_dsts:
+            self.network.send_batch(
+                self.address, remote_dsts, ALLOCATION_PUSH,
+                payloads=remote_payloads, sizes=remote_sizes)
         return state
 
     def _on_allocation_push(self, msg) -> None:
@@ -345,19 +355,22 @@ class SiteManager:
             host_name = host.split("/")[1]
             group = self.site.group_of(host_name)
             by_group.setdefault(group, {})[host] = entries
+        dsts: list[str] = []
+        payloads: list[Any] = []
         for group, group_portions in by_group.items():
             gm = self.group_managers.get(group)
             if gm is None:
                 raise SchedulingError(
                     f"no group manager for group {group!r} at "
                     f"{self.site.name!r}")
-            self.network.send(self.address, gm.address, ALLOCATION_PUSH,
-                              payload={"application": application,
-                                       "execution_id": execution_id,
-                                       "portions": group_portions,
-                                       "coordinator":
-                                       coordinator or self.address},
-                              size_bytes=256)
+            dsts.append(gm.address)
+            payloads.append({"application": application,
+                             "execution_id": execution_id,
+                             "portions": group_portions,
+                             "coordinator": coordinator or self.address})
+        if dsts:
+            self.network.send_batch(self.address, dsts, ALLOCATION_PUSH,
+                                    payloads=payloads, size_bytes=256)
 
     @staticmethod
     def _entry_payload(entry, graph: ApplicationFlowGraph,
@@ -409,11 +422,9 @@ class SiteManager:
         state.started = True
         state.start_signal_time = self.env.now
         self._log("start", {"execution_id": state.execution_id})
-        for ctl in sorted(state.controllers):
-            self.network.send(self.address, ctl, START_SIGNAL,
-                              payload={"execution_id":
-                                       state.execution_id},
-                              size_bytes=32)
+        self.network.send_batch(
+            self.address, sorted(state.controllers), START_SIGNAL,
+            payload={"execution_id": state.execution_id}, size_bytes=32)
         self.tracer.record(self.env.now, "sm:start-signal", self.address,
                            execution=state.execution_id)
         if self.obs.enabled:
@@ -465,11 +476,9 @@ class SiteManager:
         start event stays triggered), while re-pushed controllers need
         one to run tasks the log shows as not yet completed.
         """
-        for ctl in sorted(state.controllers):
-            self.network.send(self.address, ctl, START_SIGNAL,
-                              payload={"execution_id":
-                                       state.execution_id},
-                              size_bytes=32)
+        self.network.send_batch(
+            self.address, sorted(state.controllers), START_SIGNAL,
+            payload={"execution_id": state.execution_id}, size_bytes=32)
         self.tracer.record(self.env.now, "sm:start-resent", self.address,
                            execution=state.execution_id)
 

@@ -19,12 +19,49 @@ within the site for parallel tasks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import nsmallest
 
 from repro.afg.graph import ApplicationFlowGraph, TaskNode
 from repro.prediction.predict import PerformancePredictor
+from repro.repository.delta import DeltaEvent, DeltaTracker
 from repro.repository.resource_perf import ResourceRecord
 from repro.repository.site_repository import SiteRepository
 from repro.util.errors import NoFeasibleHostError
+
+#: Soft cap on distinct task-class score views held per selector; the
+#: view table is cleared wholesale past this (same wholesale-reset
+#: policy as the predictor's memo cache).
+VIEW_MAX_ENTRIES = 512
+
+
+def _score_key(entry: tuple[str, float]) -> tuple[float, str]:
+    """(estimate, address) — the full path's deterministic tie-break."""
+    return (entry[1], entry[0])
+
+
+class _ClassView:
+    """Persistent candidate scores for one task equivalence class.
+
+    One view per (task name, input size, processors, machine type):
+    ``scores`` maps each currently-feasible host address to its Predict
+    estimate, and ``cursor`` marks how far into the repository's delta
+    journal the view has consumed.  Between scheduling rounds only the
+    dirtied entries are re-scored; ``ranked`` caches the materialised
+    HostChoice tuples per (node id, k) until the journal moves again.
+    """
+
+    __slots__ = ("scores", "cursor", "ranked", "top")
+
+    def __init__(self) -> None:
+        self.scores: dict[str, float] = {}
+        self.cursor = 0
+        self.ranked: dict[tuple[str, int], tuple[HostChoice, ...]] = {}
+        #: class-level top lists: n -> ((addr, est), ...) ascending by
+        #: (est, addr).  A delta that cannot displace any cached top
+        #: (dirty host outside it, new estimate above its k-th entry)
+        #: leaves ``ranked`` valid — the common one-monitoring-update
+        #: round costs O(changed hosts), not O(nodes x log k).
+        self.top: dict[int, tuple[tuple[str, float], ...]] = {}
 
 
 @dataclass(frozen=True)
@@ -64,15 +101,28 @@ class HostSelectionResult:
 
 
 class HostSelector:
-    """Figure 5, evaluated against one site's repository."""
+    """Figure 5, evaluated against one site's repository.
+
+    With ``incremental=True`` (the default) the selector keeps one
+    :class:`_ClassView` of candidate scores per task equivalence class
+    and consumes the repository's :class:`DeltaTracker` journal between
+    rounds — only hosts dirtied by a monitoring update, membership flip,
+    weight refinement, or constraint edit are re-scored.  The
+    ``incremental=False`` path re-walks every candidate from scratch and
+    is retained verbatim as the differential-testing oracle.
+    """
 
     def __init__(self, repository: SiteRepository,
                  predictor: PerformancePredictor | None = None,
-                 enforce_constraints: bool = True) -> None:
+                 enforce_constraints: bool = True,
+                 incremental: bool = True) -> None:
         self.repository = repository
         self.predictor = predictor or PerformancePredictor(
             repository.task_performance)
         self.enforce_constraints = enforce_constraints
+        self.incremental = incremental
+        self._views: dict[tuple[str, float, int, str | None], _ClassView] = {}
+        self._tracker: DeltaTracker = repository.delta
 
     # -- candidate filtering ---------------------------------------------
     def feasible_records(self, node: TaskNode) -> list[ResourceRecord]:
@@ -91,6 +141,180 @@ class HostSelector:
             out.append(rec)
         return out
 
+    # -- incremental candidate views --------------------------------------
+    def _feasible_estimate(self, node: TaskNode, processors: int,
+                           addr: str) -> float | None:
+        """Current Predict estimate for *addr*, or None when infeasible.
+
+        Re-evaluates the exact filter chain of :meth:`feasible_records`
+        (site membership, up status, machine type, constraints) against
+        the repository's *current* state, so replaying a stale journal
+        entry always converges on the live answer.
+        """
+        rp = self.repository.resource_performance
+        if addr not in rp:
+            return None
+        rec = rp.get(addr)
+        if rec.site != self.repository.site or rec.status != "up":
+            return None
+        machine_type = node.properties.machine_type
+        if machine_type is not None and rec.arch != machine_type:
+            return None
+        if self.enforce_constraints and not (
+                self.repository.task_constraints.is_runnable_on(
+                    node.task_name, addr)):
+            return None
+        return self.predictor.estimate(
+            node.definition, node.properties.input_size, rec, processors)
+
+    def _rebuild_view(self, view: _ClassView, node: TaskNode,
+                      processors: int) -> None:
+        """Full re-walk: score every feasible record (journal lost)."""
+        scores = view.scores
+        scores.clear()
+        view.top.clear()
+        view.ranked.clear()
+        definition = node.definition
+        input_size = node.properties.input_size
+        estimate = self.predictor.estimate
+        for rec in self.feasible_records(node):
+            scores[rec.address] = estimate(definition, input_size, rec,
+                                           processors)
+
+    def _apply_events(self, view: _ClassView, node: TaskNode,
+                      processors: int, events: list[DeltaEvent]) -> None:
+        """Re-score only the (host, task-class) pairs the journal dirtied."""
+        scores = view.scores
+        task_name = node.task_name
+        changed: set[str] = set()
+        for kind, a, b in events:
+            if kind == "host":
+                addr = a
+            elif kind == "host-removed":
+                if scores.pop(a, None) is not None:
+                    changed.add(a)
+                # the satellite invalidation: drop only this host's
+                # memoized predictions, keep the rest warm
+                self.predictor.invalidate(host=a)
+                continue
+            elif kind == "weight" or kind == "constraint":
+                if a != task_name:
+                    continue
+                addr = b
+            else:  # "task": registration never changes existing estimates
+                continue
+            est = self._feasible_estimate(node, processors, addr)
+            if est is None:
+                if scores.pop(addr, None) is not None:
+                    changed.add(addr)
+            elif scores.get(addr) != est:
+                scores[addr] = est
+                changed.add(addr)
+        if changed and view.top:
+            self._invalidate_tops(view, changed)
+
+    @staticmethod
+    def _invalidate_tops(view: _ClassView, changed: set[str]) -> None:
+        """Drop cached rankings a score change could have displaced.
+
+        A cached top-n (and the HostChoice tuples built from it) stays
+        valid iff no changed host is inside it, none could now enter it
+        (new estimate above its n-th entry, with the (est, addr)
+        tie-break), and it was not short of candidates.
+        """
+        scores = view.scores
+        n_scores = len(scores)
+        for n, top in view.top.items():
+            if len(top) < min(n, n_scores):
+                break  # was short: an appearing host extends it
+            displaced = False
+            for addr in changed:
+                est = scores.get(addr)
+                if any(addr == a for a, _ in top):
+                    displaced = True
+                    break
+                if est is not None and top and \
+                        (est, addr) < (top[-1][1], top[-1][0]):
+                    displaced = True
+                    break
+            if displaced:
+                break
+        else:
+            return  # every cached top survives the delta
+        view.top.clear()
+        view.ranked.clear()
+
+    def _view_for(self, node: TaskNode, processors: int) -> _ClassView:
+        """The up-to-date score view for *node*'s task class."""
+        tracker = self.repository.delta
+        if tracker is not self._tracker:
+            # the repository swapped journals (e.g. SiteRepository.load):
+            # every cursor is meaningless, start over
+            self._views.clear()
+            self._tracker = tracker
+        props = node.properties
+        key = (node.task_name, props.input_size, processors,
+               props.machine_type)
+        view = self._views.get(key)
+        if view is None:
+            if len(self._views) >= VIEW_MAX_ENTRIES:
+                self._views.clear()
+            view = _ClassView()
+            self._rebuild_view(view, node, processors)
+            view.cursor = tracker.generation
+            self._views[key] = view
+            return view
+        if view.cursor != tracker.generation:
+            events = tracker.events_since(view.cursor)
+            if events is None:  # journal compacted past our cursor
+                self._rebuild_view(view, node, processors)
+            elif events:
+                self._apply_events(view, node, processors, events)
+            view.cursor = tracker.generation
+        return view
+
+    def _top_n(self, view: _ClassView, n: int
+               ) -> tuple[tuple[str, float], ...]:
+        """The view's n best (addr, est) pairs, cached per generation."""
+        top = view.top.get(n)
+        if top is None:
+            top = tuple(nsmallest(n, view.scores.items(), key=_score_key))
+            view.top[n] = top
+        return top
+
+    def _select_ranked_incremental(
+            self, node: TaskNode, processors: int,
+            max_alternatives: int) -> tuple[HostChoice, ...]:
+        view = self._view_for(node, processors)
+        cache_key = (node.node_id, max_alternatives)
+        cached = view.ranked.get(cache_key)
+        if cached is not None:
+            return cached
+        scores = view.scores
+        site = self.repository.site
+        if not scores:
+            raise NoFeasibleHostError(
+                f"site {site!r}: no feasible host for "
+                f"task {node.node_id!r} ({node.task_name})")
+        if processors > 1:
+            if len(scores) < processors:
+                raise NoFeasibleHostError(
+                    f"site {site!r}: task {node.node_id!r} "
+                    f"needs {processors} hosts, only {len(scores)} feasible")
+            chosen = self._top_n(view, processors)
+            result: tuple[HostChoice, ...] = (HostChoice(
+                node_id=node.node_id, site=site,
+                hosts=tuple(addr for addr, _ in chosen),
+                predicted_time_s=max(est for _, est in chosen),
+                processors=processors),)
+        else:
+            result = tuple(
+                HostChoice(node_id=node.node_id, site=site, hosts=(addr,),
+                           predicted_time_s=est)
+                for addr, est in self._top_n(view, max_alternatives))
+        view.ranked[cache_key] = result
+        return result
+
     # -- per-task selection -------------------------------------------------
     def select_ranked(self, node: TaskNode,
                       max_alternatives: int = 3) -> tuple[HostChoice, ...]:
@@ -100,6 +324,12 @@ class HostSelector:
         extension consults the alternatives.  Parallel tasks have a
         single (multi-host) choice.
         """
+        if self.incremental:
+            props = node.properties
+            processors = (props.processors
+                          if props.computation_mode == "parallel" else 1)
+            return self._select_ranked_incremental(node, processors,
+                                                   max_alternatives)
         records = self.feasible_records(node)
         if not records:
             raise NoFeasibleHostError(
@@ -125,6 +355,11 @@ class HostSelector:
 
     def select_for_task(self, node: TaskNode) -> HostChoice:
         """Minimum-``Predict`` host(s) at this site for one task."""
+        if self.incremental:
+            props = node.properties
+            processors = (props.processors
+                          if props.computation_mode == "parallel" else 1)
+            return self._select_ranked_incremental(node, processors, 1)[0]
         records = self.feasible_records(node)
         if not records:
             raise NoFeasibleHostError(
@@ -166,11 +401,18 @@ class HostSelector:
 
     # -- whole-graph selection (the figure's task_queue loop) -------------------
     def select(self, graph: ApplicationFlowGraph,
-               max_alternatives: int = 3) -> HostSelectionResult:
+               max_alternatives: int = 3,
+               order: list[str] | None = None) -> HostSelectionResult:
+        """Select per-task hosts for the whole graph.
+
+        Pass a precomputed topological *order* to skip re-deriving it —
+        rescheduling loops over an unchanged graph reuse one order.
+        """
         choices: dict[str, HostChoice] = {}
         ranked: dict[str, tuple[HostChoice, ...]] = {}
         infeasible: list[str] = []
-        for node_id in graph.topological_order():
+        for node_id in (order if order is not None
+                        else graph.topological_order()):
             node = graph.node(node_id)
             try:
                 options = self.select_ranked(node, max_alternatives)

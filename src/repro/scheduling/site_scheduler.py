@@ -72,7 +72,8 @@ class SiteScheduler:
 
     def __init__(self, local_site: str, topology: Topology,
                  k_remote_sites: int = 2, queue_aware: bool = False,
-                 obs: Observability | None = None) -> None:
+                 obs: Observability | None = None,
+                 diagnostics: bool = True) -> None:
         if k_remote_sites < 0:
             raise SchedulingError("k_remote_sites must be >= 0")
         self.local_site = local_site
@@ -80,6 +81,9 @@ class SiteScheduler:
         self.k = k_remote_sites
         self.queue_aware = queue_aware
         self.obs = obs if obs is not None else OBS_OFF
+        #: populate ScheduleReport's order/candidate maps; rescheduling
+        #: hot loops turn this off — assignments are unaffected
+        self.diagnostics = diagnostics
 
     # -- step 2: neighbour selection ---------------------------------------
     def select_remote_sites(self) -> list[str]:
@@ -92,19 +96,23 @@ class SiteScheduler:
         graph: ApplicationFlowGraph,
         selection_results: dict[str, HostSelectionResult],
         levels: dict[str, float] | None = None,
+        revalidate: bool = True,
     ) -> tuple[ResourceAllocationTable, ScheduleReport]:
         """Assign every task to a site/host given per-site selections.
 
         *selection_results* maps site name to that site's Host Selection
         output; it must include the local site.  Pass *levels* when the
         priority listing is already in hand (e.g. computed for an earlier
-        round over the same graph) to skip recomputing it.
+        round over the same graph) to skip recomputing it, and
+        ``revalidate=False`` when the graph was already validated (same
+        rescheduling-loop reuse).
         """
         if self.local_site not in selection_results:
             raise SchedulingError(
                 f"selection results missing the local site "
                 f"{self.local_site!r}")
-        graph.validate()
+        if revalidate:
+            graph.validate()
         if levels is None:
             levels = compute_levels(graph)
         table = ResourceAllocationTable(application=graph.name)
@@ -116,14 +124,16 @@ class SiteScheduler:
         # earliest-finish-time state for the queue-aware extension
         eft: dict[str, dict[str, float]] | None = (
             {"host_free": {}, "finish": {}} if self.queue_aware else None)
+        diagnostics = self.diagnostics
         while ready:
             node_id = ready.pop()
-            report.scheduling_order.append(node_id)
+            if diagnostics:
+                report.scheduling_order.append(node_id)
             node = graph.node(node_id)
             entry = self._assign(graph, node_id, selection_results, table,
                                  report, eft)
-            if node.properties.preferred_site is not None and \
-                    entry.site != node.properties.preferred_site:
+            if diagnostics and node.properties.preferred_site is not None \
+                    and entry.site != node.properties.preferred_site:
                 # Preference is soft in the paper ("optional preferences");
                 # record that it could not be honoured.
                 report.per_task_candidates.setdefault(node_id, {})[
@@ -156,6 +166,7 @@ class SiteScheduler:
         # candidate key: (site, choice); the paper considers one choice
         # per site, the queue-aware extension also weighs alternatives.
         candidates: list[tuple[float, float, HostChoice, str]] = []
+        diagnostics = self.diagnostics
         site_best: dict[str, float] = {}
         for site, result in results.items():
             options = (result.ranked_for(node_id) if self.queue_aware
@@ -186,9 +197,11 @@ class SiteScheduler:
                 else:
                     total = transfer + choice.predicted_time_s
                 candidates.append((total, transfer, choice, site))
-                site_best[site] = min(site_best.get(site, float("inf")),
-                                      total)
-        report.per_task_candidates[node_id] = dict(site_best)
+                if diagnostics:
+                    site_best[site] = min(site_best.get(site, float("inf")),
+                                          total)
+        if diagnostics:
+            report.per_task_candidates[node_id] = dict(site_best)
         if not candidates:
             raise NoFeasibleHostError(
                 f"no consulted site can run task {node_id!r} "
@@ -233,19 +246,25 @@ class SiteScheduler:
         graph: ApplicationFlowGraph,
         selectors: dict[str, HostSelector],
         levels: dict[str, float] | None = None,
+        order: list[str] | None = None,
+        revalidate: bool = True,
     ) -> tuple[ResourceAllocationTable, ScheduleReport]:
         """Steps 2-7 without the messaging layer (used by tests/benches).
 
         *selectors* maps site name to that site's HostSelector; the local
         site must be present.  Only the local site plus the k nearest
         neighbours are consulted, matching the multicast of step 3.
+        *levels*, *order*, and ``revalidate=False`` let rescheduling
+        loops over an unchanged graph reuse the derived structure.
         """
         if self.local_site not in selectors:
             raise SchedulingError("selectors must include the local site")
         consulted = [self.local_site] + [
             s for s in self.select_remote_sites() if s in selectors]
-        results = {site: selectors[site].select(graph) for site in consulted}
-        return self.schedule(graph, results, levels=levels)
+        results = {site: selectors[site].select(graph, order=order)
+                   for site in consulted}
+        return self.schedule(graph, results, levels=levels,
+                             revalidate=revalidate)
 
 
 class FederatedSiteScheduler:
@@ -268,7 +287,8 @@ class FederatedSiteScheduler:
         self.repositories = ctx.repositories
         self._selectors = {
             site: HostSelector(repo, predictor=PerformancePredictor(
-                repo.task_performance, **(predictor_kwargs or {})))
+                repo.task_performance, **(predictor_kwargs or {})),
+                incremental=ctx.incremental)
             for site, repo in sorted(ctx.repositories.items())
         }
         k = ctx.k_remote_sites if k_remote_sites is None else k_remote_sites

@@ -217,6 +217,32 @@ class _Resume:
             process._resume(self.event)
 
 
+class _Callback:
+    """Queue entry invoking a plain function at its scheduled time.
+
+    The batched-delivery primitive behind :meth:`Environment.call_later`:
+    one heap entry carries one function and one argument (typically a
+    list the caller keeps appending to until the entry fires), so a
+    same-tick fan-out of N messages costs one push + one callback loop
+    instead of N process bootstraps.  Like :class:`_Resume` it rides the
+    run loop's ``callbacks is None`` path and never compares against
+    other queue items (the seq number is always the tie-break).
+    """
+
+    __slots__ = ("fn", "arg")
+
+    #: class-level marker, same trick as :class:`_Resume`: the run loop
+    #: dispatches ``callbacks is None`` items via ``_run_callbacks``.
+    callbacks = None
+
+    def __init__(self, fn: Callable[[Any], None], arg: Any) -> None:
+        self.fn = fn
+        self.arg = arg
+
+    def _run_callbacks(self) -> None:
+        self.fn(self.arg)
+
+
 class _InitEvent:
     """The shared bootstrap outcome delivered to every new process."""
 
@@ -493,6 +519,25 @@ class Environment:
     def any_of(self, events: list[Event]) -> AnyOf:
         """An event firing with the first child that fires."""
         return AnyOf(self, events)
+
+    def call_later(self, delay: float, fn: Callable[[Any], None],
+                   arg: Any = None) -> None:
+        """Invoke ``fn(arg)`` after *delay* simulated seconds.
+
+        A lighter alternative to spawning a process for fire-and-forget
+        work: one heap entry, no generator, no :class:`Event` state.  The
+        network's batched delivery path passes a shared list as *arg*
+        and keeps appending to it until the entry fires — that is what
+        turns an N-way same-tick fan-out into a single queue entry.
+
+        The callback runs at NORMAL priority in seq order, exactly where
+        an event triggered at the same instant would run; it must not
+        assume an active process (``env.active_process`` is ``None``).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative call_later delay: {delay}")
+        heappush(self._queue, (self._now + delay, NORMAL, next(self._seq),
+                               _Callback(fn, arg)))
 
     # -- scheduling -------------------------------------------------------
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:

@@ -53,6 +53,26 @@ class Store:
         self._dispatch()
         return ev
 
+    def put_nowait(self, item: Any) -> None:
+        """Insert *item* without building a :class:`StorePut` event.
+
+        The mailbox fast path for unbounded stores: a put into an
+        unbounded store always succeeds immediately, so the pending-put
+        event ``put`` allocates (and the no-op trigger it schedules) is
+        pure overhead when the caller does not wait on it.  Hands the
+        item straight to the oldest waiting getter when one exists —
+        the same outcome ``_dispatch`` would produce, minus the
+        intermediate buffer hop.  Falls back to :meth:`put` on bounded
+        stores (where blocking semantics matter).
+        """
+        if self.capacity is not None:
+            self.put(item)
+            return
+        if self._getters and not self.items:
+            self._getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
     def get(self) -> StoreGet:
         """Return an event that triggers with the oldest item."""
         ev = StoreGet(self.env)

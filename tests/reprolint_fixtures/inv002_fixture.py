@@ -1,0 +1,85 @@
+"""INV002 fixture: the delta-publication contract (notify + generation)."""
+
+
+class Plain:
+    """Not a delta source: version bumps without notify are fine here."""
+
+    def bump(self):
+        self._version += 1
+
+
+class ResourcePerformanceDB:
+    def _notify(self, kind, a="", b=""):
+        for cb in self._subscribers:
+            cb(kind, a, b)
+
+    def _stamp(self, rec):
+        self._version_clock += 1
+        rec.version = self._version_clock
+        self._notify("host", rec.address)
+
+    def good_unregister(self, address):
+        del self._records[address]
+        self._version_clock += 1
+        self._notify("host-removed", address)
+
+    def good_delegated(self, address):
+        rec = self.get(address)
+        rec.cpu_load = 0.5
+        self._stamp(rec)
+
+    def bad_silent_bump(self, rec):  # expect: INV002
+        self._version_clock += 1
+        rec.version = self._version_clock
+
+    def bad_record_stamp(self, rec):  # expect: INV002
+        rec.version = 7
+
+    def read_only(self, address):
+        return self._records[address]
+
+    @classmethod
+    def load(cls, path):
+        db = cls()
+        db._version_clock = 3
+        return db
+
+
+class TaskConstraintsDB:
+    def good_register(self, task, host):
+        self._table[(task, host)] = "/bin/task"
+        self._version += 1
+        self._notify("constraint", task, host)
+
+    def bad_register(self, task, host):  # expect: INV002
+        self._table[(task, host)] = "/bin/task"
+        self._version += 1
+
+
+class DeltaTracker:
+    def __init__(self):
+        self.generation = 0
+        self._events = []
+
+    def good_record(self, kind, a, b):
+        self._events.append((kind, a, b))
+        self.generation += 1
+
+    def good_compact(self, drop):
+        del self._events[:drop]
+        self.generation += 1
+
+    def bad_append(self, kind):  # expect: INV002
+        self._events.append((kind, "", ""))
+
+    def bad_rebind(self):  # expect: INV002
+        self._events = []
+
+    def bad_slice_delete(self, drop):  # expect: INV002
+        del self._events[:drop]
+
+    def bad_item_assign(self, i, event):  # expect: INV002
+        self._events[i] = event
+
+    def read_only(self, cursor):
+        return self._events[cursor:]

@@ -1,0 +1,224 @@
+"""Differential tests: incremental host selection equals the full re-walk.
+
+The incremental selector (PR 7) keeps per-task-class score views and
+consumes the repository's :class:`DeltaTracker` journal between rounds;
+the ``incremental=False`` path re-walks every candidate from scratch
+and is retained verbatim as the oracle.  These tests drive both
+selectors through randomized-but-seeded repository mutation sequences
+— monitoring updates, up/down flips, weight refinements, constraint
+edits, host removal and re-registration — and demand *identical*
+answers: the same choices, the same (estimate, address) tie-breaks, the
+same ranked alternatives, the same infeasibility verdicts, and exactly
+equal predicted floats (both paths share the predictor arithmetic).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.afg import GraphBuilder
+from repro.resources.host import HostSpec
+from repro.scheduling import HostSelector
+from repro.util.errors import NoFeasibleHostError
+from repro.util.rng import RngRegistry
+from repro.workloads import random_layered_graph
+
+from .conftest import build_federation
+
+SITE = "syracuse"
+
+
+def make_graph(registry, seed):
+    """A layered AFG exercising every equivalence-class axis."""
+    graph = random_layered_graph(registry, layers=3, width=3, seed=seed)
+    nodes = list(graph.nodes)
+    parallel_capable = [n for n in nodes
+                        if graph.node(n).definition.parallel_capable]
+    assert parallel_capable, "fixture graph needs one parallel task"
+    graph.node(parallel_capable[0]).properties.computation_mode = "parallel"
+    graph.node(parallel_capable[0]).properties.processors = 2
+    serial = next(n for n in nodes if n != parallel_capable[0])
+    graph.node(serial).properties.machine_type = "sparc"
+    return graph
+
+
+def spec_of(rec) -> HostSpec:
+    """Rebuild the registration spec from a live resource record."""
+    return HostSpec(name=rec.host_name, group=rec.group, arch=rec.arch,
+                    os=rec.os, cpu_factor=rec.cpu_factor,
+                    memory_mb=rec.total_memory_mb)
+
+
+def apply_op(repo, rng, removed_specs, task_names, round_no):
+    """One random repository mutation (every delta-event kind)."""
+    rp = repo.resource_performance
+    hosts = sorted(r.address for r in rp.all_records())
+    t = float(round_no + 1)
+    op = int(rng.integers(7))
+    if op == 0 and hosts:
+        addr = hosts[int(rng.integers(len(hosts)))]
+        rp.update_dynamic(addr, cpu_load=float(rng.random()) * 20.0,
+                          available_memory_mb=64.0 + float(rng.random()) * 64,
+                          time=t)
+    elif op == 1 and hosts:
+        addr = hosts[int(rng.integers(len(hosts)))]
+        if rp.get(addr).status == "up":
+            rp.mark_down(addr, time=t)
+        else:
+            rp.mark_up(addr, time=t)
+    elif op == 2 and hosts:
+        task = task_names[int(rng.integers(len(task_names)))]
+        addr = hosts[int(rng.integers(len(hosts)))]
+        repo.task_performance.set_weight(task, addr,
+                                         0.5 + float(rng.random()))
+    elif op == 3 and hosts:
+        task = task_names[int(rng.integers(len(task_names)))]
+        addr = hosts[int(rng.integers(len(hosts)))]
+        constraints = repo.task_constraints
+        if constraints.is_runnable_on(task, addr):
+            constraints.unregister_executable(task, addr)
+        else:
+            constraints.register_executable(task, addr,
+                                            f"/usr/vdce/bin/{task}")
+    elif op == 4 and len(hosts) > 2:
+        addr = hosts[int(rng.integers(len(hosts)))]
+        removed_specs.append(spec_of(rp.get(addr)))
+        rp.unregister_host(addr)
+    elif op == 5 and removed_specs:
+        rp.register_host(SITE, removed_specs.pop())
+    elif hosts:
+        # no-op re-stamp: same dynamic values, fresh version — must not
+        # perturb either path
+        rec = rp.get(hosts[int(rng.integers(len(hosts)))])
+        rp.update_dynamic(rec.address, cpu_load=rec.cpu_load,
+                          available_memory_mb=rec.available_memory_mb,
+                          time=t)
+
+
+def assert_same_selection(incremental, oracle, graph):
+    inc = incremental.select(graph)
+    full = oracle.select(graph)
+    assert inc.choices == full.choices
+    assert inc.ranked == full.ranked
+    assert inc.infeasible == full.infeasible
+
+
+class TestDifferentialOracle:
+    @pytest.mark.parametrize("seed", (3, 17, 29))
+    def test_randomized_mutation_sequences_match(self, registry, seed):
+        fed = build_federation(registry=registry, hosts_per_site=4,
+                               seed=seed)
+        repo = fed.repositories[SITE]
+        graph = make_graph(registry, seed)
+        incremental = HostSelector(repo)
+        oracle = HostSelector(repo, incremental=False)
+        rng = RngRegistry(seed).stream("mutations")
+        removed_specs: list[HostSpec] = []
+        tasks = sorted({graph.node(n).task_name for n in graph.nodes})
+        assert_same_selection(incremental, oracle, graph)
+        for round_no in range(40):
+            for _ in range(int(rng.integers(1, 4))):
+                apply_op(repo, rng, removed_specs, tasks, round_no)
+            assert_same_selection(incremental, oracle, graph)
+
+    def test_journal_compaction_forces_rebuild_and_matches(self, registry):
+        fed = build_federation(registry=registry, hosts_per_site=4)
+        repo = fed.repositories[SITE]
+        graph = make_graph(registry, 1)
+        incremental = HostSelector(repo)
+        oracle = HostSelector(repo, incremental=False)
+        assert_same_selection(incremental, oracle, graph)
+        # shrink the journal bound so the burst below compacts it past
+        # every cursor the selector holds
+        repo.delta.max_journal = 4
+        hosts = sorted(r.address
+                       for r in repo.resource_performance.all_records())
+        for i in range(30):
+            repo.resource_performance.update_dynamic(
+                hosts[i % len(hosts)], cpu_load=0.3 * (i % 5),
+                available_memory_mb=64.0, time=float(i + 1))
+        assert repo.delta.events_since(0) is None  # cursor unrecoverable
+        assert_same_selection(incremental, oracle, graph)
+
+    def test_infeasibility_parity_when_constraints_vanish(self, registry):
+        fed = build_federation(registry=registry, hosts_per_site=3)
+        repo = fed.repositories[SITE]
+        b = GraphBuilder(registry, name="one")
+        b.task("lu-decomposition", "lu", input_size=50)
+        node = b.graph.node("lu")
+        incremental = HostSelector(repo)
+        oracle = HostSelector(repo, incremental=False)
+        assert incremental.select_for_task(node) \
+            == oracle.select_for_task(node)
+        constraints = repo.task_constraints
+        for addr in sorted(constraints.hosts_with("lu-decomposition")):
+            constraints.unregister_executable("lu-decomposition", addr)
+        with pytest.raises(NoFeasibleHostError):
+            incremental.select_for_task(node)
+        with pytest.raises(NoFeasibleHostError):
+            oracle.select_for_task(node)
+        # executables come back: both paths recover the same answer
+        for rec in repo.resource_performance.all_records():
+            constraints.register_executable("lu-decomposition", rec.address,
+                                            "/usr/vdce/bin/lu")
+        assert incremental.select_for_task(node) \
+            == oracle.select_for_task(node)
+
+    def test_host_removal_then_reregistration_matches(self, registry):
+        fed = build_federation(registry=registry, hosts_per_site=4)
+        repo = fed.repositories[SITE]
+        b = GraphBuilder(registry, name="one")
+        b.task("lu-decomposition", "lu", input_size=50)
+        node = b.graph.node("lu")
+        incremental = HostSelector(repo)
+        oracle = HostSelector(repo, incremental=False)
+        winner = incremental.select_for_task(node).hosts[0]
+        spec = spec_of(repo.resource_performance.get(winner))
+        repo.resource_performance.unregister_host(winner)
+        after = incremental.select_for_task(node)
+        assert after.hosts[0] != winner
+        assert after == oracle.select_for_task(node)
+        repo.resource_performance.register_host(SITE, spec)
+        back = incremental.select_for_task(node)
+        assert back.hosts[0] == winner
+        assert back == oracle.select_for_task(node)
+
+
+class TestRankedCacheCoherence:
+    def test_undisplacing_update_reuses_ranked_tuple(self, registry):
+        """A load pile-up on a host outside every cached top list must
+        leave the materialised ranking untouched (object-identical) —
+        the displacement test that makes steady-state rounds O(dirty)."""
+        fed = build_federation(registry=registry, hosts_per_site=6)
+        repo = fed.repositories[SITE]
+        b = GraphBuilder(registry, name="one")
+        b.task("lu-decomposition", "lu", input_size=50)
+        node = b.graph.node("lu")
+        selector = HostSelector(repo)
+        first = selector.select_ranked(node, max_alternatives=2)
+        ranked_hosts = {c.hosts[0] for c in first}
+        outside = [r.address
+                   for r in repo.resource_performance.hosts_at(SITE)
+                   if r.address not in ranked_hosts]
+        assert outside, "fixture needs hosts beyond the top-2"
+        repo.resource_performance.update_dynamic(
+            outside[-1], cpu_load=50.0, available_memory_mb=8.0, time=1.0)
+        assert selector.select_ranked(node, max_alternatives=2) is first
+
+    def test_displacing_update_refreshes_ranking(self, registry):
+        fed = build_federation(registry=registry, hosts_per_site=6)
+        repo = fed.repositories[SITE]
+        b = GraphBuilder(registry, name="one")
+        b.task("lu-decomposition", "lu", input_size=50)
+        node = b.graph.node("lu")
+        selector = HostSelector(repo)
+        oracle = HostSelector(repo, incremental=False)
+        first = selector.select_ranked(node, max_alternatives=2)
+        # bury the current winner under load: it must drop out
+        for _ in range(5):
+            repo.resource_performance.update_dynamic(
+                first[0].hosts[0], cpu_load=50.0,
+                available_memory_mb=8.0, time=1.0)
+        second = selector.select_ranked(node, max_alternatives=2)
+        assert second[0].hosts != first[0].hosts
+        assert second == oracle.select_ranked(node, max_alternatives=2)

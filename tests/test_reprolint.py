@@ -1,4 +1,4 @@
-"""Fixture tests for the reprolint framework and its five checkers.
+"""Fixture tests for the reprolint framework and its six checkers.
 
 Each fixture file under ``tests/reprolint_fixtures/`` annotates every
 line that must be reported with ``# expect: RULE``.  The tests compare
@@ -54,6 +54,7 @@ def run_rule(rule: str, path: Path) -> list[Finding]:
     ("DET001", "det001_fixture.py"),
     ("DET002", "det002_fixture.py"),
     ("INV001", "inv001_fixture.py"),
+    ("INV002", "inv002_fixture.py"),
     ("SIM001", "sim001_fixture.py"),
     ("PERF001", "perf001_fixture.py"),
     ("PERF001", "perf001_obs_fixture.py"),
@@ -70,7 +71,8 @@ def test_fixture_findings_exact(rule: str, fixture: str) -> None:
 
 def test_every_finding_carries_its_rule_id() -> None:
     for rule, fixture in [("DET001", "det001_fixture.py"),
-                          ("INV001", "inv001_fixture.py")]:
+                          ("INV001", "inv001_fixture.py"),
+                          ("INV002", "inv002_fixture.py")]:
         for finding in run_rule(rule, FIXTURES / fixture):
             assert finding.rule == rule
             assert finding.message
@@ -97,6 +99,7 @@ def test_cli_nonzero_with_correct_rule_ids_on_fixtures() -> None:
     for rule, fixture in [("DET001", "det001_fixture.py"),
                           ("DET002", "det002_fixture.py"),
                           ("INV001", "inv001_fixture.py"),
+                          ("INV002", "inv002_fixture.py"),
                           ("SIM001", "sim001_fixture.py"),
                           ("PERF001", "perf001_fixture.py"),
                           ("PERF001", "perf001_obs_fixture.py")]:
@@ -114,7 +117,8 @@ def test_cli_clean_on_real_tree() -> None:
 def test_cli_select_and_list_rules() -> None:
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
-    for rule in ("DET001", "DET002", "INV001", "SIM001", "PERF001"):
+    for rule in ("DET001", "DET002", "INV001", "INV002", "SIM001",
+                 "PERF001"):
         assert rule in proc.stdout
     proc = run_cli("tests/reprolint_fixtures", "--no-path-filter",
                    "--no-default-excludes", "--select", "PERF001",

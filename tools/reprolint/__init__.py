@@ -13,6 +13,9 @@ against the project's *own* rules, the way a generic linter never could:
   code, where only ``env.now`` may be consulted;
 * **INV001** — the cache-invalidation contract: methods of ``@versioned``
   classes that mutate data must bump the version stamp;
+* **INV002** — the delta-publication contract: repository version bumps
+  must publish a ``_notify`` delta event, and ``DeltaTracker`` journal
+  mutations must bump the ``generation`` cursor stamp;
 * **SIM001** — simulation-safety: process generators must not call
   blocking/real-I/O APIs or share state through ``global``/``nonlocal``;
 * **PERF001** — hot-path hygiene in the kernel and network send path

@@ -5,6 +5,7 @@ from __future__ import annotations
 from tools.reprolint.checkers.det001 import NondeterminismChecker
 from tools.reprolint.checkers.det002 import WallClockChecker
 from tools.reprolint.checkers.inv001 import VersionStampChecker
+from tools.reprolint.checkers.inv002 import DeltaPublicationChecker
 from tools.reprolint.checkers.perf001 import HotPathHygieneChecker
 from tools.reprolint.checkers.sim001 import SimulationSafetyChecker
 from tools.reprolint.core import Checker
@@ -14,12 +15,14 @@ ALL_CHECKERS: dict[str, type[Checker]] = {
     NondeterminismChecker.rule: NondeterminismChecker,
     WallClockChecker.rule: WallClockChecker,
     VersionStampChecker.rule: VersionStampChecker,
+    DeltaPublicationChecker.rule: DeltaPublicationChecker,
     SimulationSafetyChecker.rule: SimulationSafetyChecker,
     HotPathHygieneChecker.rule: HotPathHygieneChecker,
 }
 
 __all__ = [
     "ALL_CHECKERS",
+    "DeltaPublicationChecker",
     "HotPathHygieneChecker",
     "NondeterminismChecker",
     "SimulationSafetyChecker",
