@@ -1,0 +1,50 @@
+"""Happens-before race sanitizer and cross-site isolation analysis.
+
+The shardability gate for ROADMAP item 3(c): before the simulation can be
+partitioned across OS processes by site, two invariants must provably
+hold —
+
+1. **same-tick independence**: events executed at the same simulated
+   instant never conflict on shared state unless a causal edge orders
+   them (otherwise today's determinism is an accident of heapq
+   tie-breaking and would not survive a partitioned run);
+2. **site autonomy**: no code path mutates another site's repository,
+   store or manager state except through :class:`~repro.net.network.Network`
+   messages (the paper's architecture, and the partition boundary).
+
+:class:`~repro.analysis.hb.HBRecorder` is a vector-clock happens-before
+recorder the DES kernel delegates to while attached (``Environment._hb``);
+:class:`~repro.analysis.session.AnalysisSession` wires it into a built
+testbed (repository subscriptions, daemon site tagging);
+:mod:`repro.analysis.runner` drives the chaos + bakeoff scenarios under
+it and renders the deterministic race report + cross-site access matrix
+consumed by ``repro analyze`` and CI.
+
+Everything here is strictly off the hot path: with no session attached
+every kernel hook is one attribute load and an identity check
+(≤2% overhead, enforced by ``tools/perf_report.py --check``).
+"""
+
+from typing import Any
+
+from repro.analysis.hb import HBRecorder, Race
+from repro.analysis.session import AnalysisSession
+
+__all__ = [
+    "AnalysisSession",
+    "AnalyzeConfig",
+    "HBRecorder",
+    "Race",
+    "render_report",
+    "run_analysis",
+]
+
+
+def __getattr__(name: str) -> Any:
+    # The runner pulls in the workloads/chaos stack, whose modules carry
+    # the analysis hooks themselves — import it lazily so instrumented
+    # layers can ``import repro.analysis.hooks`` without a cycle.
+    if name in ("AnalyzeConfig", "run_analysis", "render_report"):
+        from repro.analysis import runner
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

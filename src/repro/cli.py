@@ -238,6 +238,30 @@ def cmd_bakeoff(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from repro.analysis import AnalyzeConfig, render_report, run_analysis
+    from repro.analysis.runner import SCENARIOS, report_json
+    scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
+    batching = ((True,) if args.batching == "on"
+                else (False,) if args.batching == "off"
+                else (True, False))
+    config = AnalyzeConfig(
+        seeds=tuple(int(s) for s in args.seeds.split(",")),
+        scenarios=scenarios, batching_modes=batching,
+        chaos_tasks=args.tasks, max_sim_time_s=args.max_time)
+    report = run_analysis(config)
+    print(render_report(report), end="")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report_json(report))
+        print(f"\nanalysis JSON written to {args.json}")
+    if report["unsuppressed_races"] or not report["certificate"]["shardable"]:
+        print(f"\nFAIL: {report['unsuppressed_races']} unsuppressed "
+              "race(s); certificate withheld", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_monitor(args) -> int:
     vdce = nynet_testbed(seed=args.seed, hosts_per_site=args.hosts,
                          with_loads=True, filter_policy=args.policy)
@@ -386,6 +410,24 @@ def build_parser() -> argparse.ArgumentParser:
     bakeoff.add_argument("--obs", action="store_true",
                          help="record schedule-round spans and counters")
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the happens-before race sanitizer and emit the "
+             "cross-site isolation certificate")
+    analyze.add_argument("--seeds", default="101,202,303",
+                         help="comma list of seeds")
+    analyze.add_argument("--scenario", default="all",
+                         choices=("chaos", "bakeoff", "all"))
+    analyze.add_argument("--batching", default="both",
+                         choices=("on", "off", "both"),
+                         help="network same-tick batching mode(s) to run")
+    analyze.add_argument("--tasks", type=int, default=60,
+                         help="chaos solver problem size")
+    analyze.add_argument("--max-time", type=float, default=600.0,
+                         help="simulated-time budget per run")
+    analyze.add_argument("--json", default=None,
+                         help="write the deterministic race report here")
+
     monitor = sub.add_parser("monitor", help="run the monitoring pipeline")
     monitor.add_argument("--duration", type=float, default=60.0)
     monitor.add_argument("--policy", default="ci",
@@ -424,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 COMMANDS = {
     "info": cmd_info,
+    "analyze": cmd_analyze,
     "bakeoff": cmd_bakeoff,
     "solve": cmd_solve,
     "schedule": cmd_schedule,

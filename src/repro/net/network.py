@@ -19,6 +19,7 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.analysis import hooks
 from repro.net.message import Message
 from repro.net.topology import Topology
 from repro.obs import OBS_OFF, Observability
@@ -183,6 +184,9 @@ class Network:
         box = self.mailbox(dst)
         dst_site, dst_host = split_address(dst)
         src_site, src_host = split_address(src)
+        hb = hooks.HB
+        if hb is not None:
+            hb.on_send(dst_site)
         # inlined TrafficStats.account: sends dominate, and the method
         # call plus Message re-reads are measurable at message rate
         stats.messages += 1
@@ -309,6 +313,7 @@ class Network:
         overhead = self.per_message_overhead_s
         src_site, src_host = split_address(src)
         src_up = is_up(src_host)
+        hb = hooks.HB
         by_kind = stats.by_kind
         bytes_by_kind = stats.bytes_by_kind
         messages: list[Message] = []
@@ -326,6 +331,8 @@ class Network:
             if box is None:
                 raise ChannelError(f"no endpoint registered at {dst!r}")
             dst_site, dst_host = split_address(dst)
+            if hb is not None:
+                hb.on_send(dst_site)
             stats.messages += 1
             stats.bytes += nbytes
             by_kind[kind] += 1

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.analysis import hooks
 from repro.net import SERVER_HEARTBEAT, SERVER_PROMOTED, WAL_APPEND
 from repro.net.network import Network
 from repro.obs import OBS_OFF, Observability
@@ -49,6 +50,8 @@ class ReplicationShipper:
 
     def log(self, kind: str, payload: dict[str, Any]) -> WalRecord:
         """Record one mutation and ship it to the standbys."""
+        if hooks.HB is not None:
+            hooks.HB.write(self.src_address.split("/", 1)[0], "wal", kind)
         record = self.wal.append(kind, payload, t=self.env.now)
         if self.standby_addrs:
             self.network.send_batch(
@@ -124,6 +127,9 @@ class StandbyReplica:
         half of ``task-completed`` mutate the replica's databases so a
         promoted server schedules from fresh data.
         """
+        if hooks.HB is not None:
+            hooks.HB.write(self.site.name, f"replica:{self.host.address}",
+                           record.kind)
         payload = record.payload
         rp = self.repository.resource_performance
         if record.kind == "workload-update":

@@ -30,7 +30,11 @@ from repro.obs import OBS_OFF, Observability
 from repro.resources.groundtruth import ExecutionModel
 from repro.resources.host import Host
 from repro.runtime.control.site_manager import TASK_COMPLETED
-from repro.runtime.data.data_manager import ChannelSpec, DataManager
+from repro.runtime.data.data_manager import (
+    ChannelSpec,
+    DataManager,
+    channel_key,
+)
 from repro.scheduling.rescheduling import ReschedulePolicy
 from repro.simcore.engine import Environment, Interrupt
 from repro.simcore.trace import Tracer
@@ -119,6 +123,19 @@ class ApplicationController:
             for entry in payload["entries"]:
                 if entry["hosts"][0] != self.host.address:
                     continue
+                if not self._can_source_inputs(execution_id, entry):
+                    # Promotion-time re-push of a task this host never
+                    # set up: no forwarded inputs, no cached aborted
+                    # inputs, no open endpoints — the inputs can never
+                    # arrive here, so running would die on a closed
+                    # channel.  Leave it unclaimed; the rescheduling
+                    # pipeline re-issues it with the inputs attached.
+                    self.tracer.record(self.env.now,
+                                       "ac:unsourceable-repush",
+                                       self.host.address,
+                                       node=entry["node_id"],
+                                       execution=execution_id)
+                    continue
                 if not self._claim(execution_id, entry["node_id"],
                                    coordinator):
                     continue
@@ -172,6 +189,22 @@ class ApplicationController:
         # participant entries occupy this host when the primary signals;
         # nothing to do here (handled by PARALLEL_OCCUPY messages).
         _ = participant_entries
+
+    def _can_source_inputs(self, execution_id: str, entry: dict) -> bool:
+        """May :meth:`_run_task` actually gather this entry's inputs here?
+
+        True when the inputs travel with the entry, a prior aborted run
+        on this host already drained them, or every input channel's
+        receive endpoint is open locally (the original-allocation case).
+        """
+        if "forward_inputs" in entry:
+            return True
+        if (execution_id, entry["node_id"]) in self._aborted_inputs:
+            return True
+        return all(
+            self.data_manager.has_endpoint(channel_key(
+                execution_id, entry["node_id"], link["dst_port"]))
+            for link in entry["in_links"])
 
     def _claim(self, execution_id: str, node_id: str, coordinator: str,
                allow_aborted: bool = True) -> bool:

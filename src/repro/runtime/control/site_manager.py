@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.afg.graph import ApplicationFlowGraph
+from repro.analysis import hooks
 from repro.net import (
     AFG_MULTICAST,
     ALLOCATION_PUSH,
@@ -145,7 +146,13 @@ class SiteManager:
     def _log(self, kind: str, payload: dict) -> None:
         """Append one mutation to the replication WAL (no-op standalone)."""
         if self.replication is not None:
+            # The shipper reports the WAL-cell write to the sanitizer.
             self.replication.log(kind, payload)
+
+    def _hb_exec(self, detail: str) -> None:
+        """Report a mutation of the execution-state table (``sm-exec``)
+        to the attached sanitizer; call sites guard on ``hooks.HB``."""
+        hooks.HB.write(self.site.name, "sm-exec", detail)
 
     # -- repository updates -----------------------------------------------
     def _on_workload_update(self, msg) -> None:
@@ -182,6 +189,8 @@ class SiteManager:
         for state in self._executions.values():
             if state.started or host not in state.expected_acks:
                 continue
+            if hooks.HB is not None:
+                self._hb_exec(f"ack-waive:{state.execution_id}")
             state.expected_acks.discard(host)
             state.received_acks.discard(host)
             state.controllers.discard(f"{host}/appctl")
@@ -295,6 +304,8 @@ class SiteManager:
             # reprolint: disable=DET001 -- membership-only set, no order escapes
             controllers={f"{h}/appctl" for h in table.hosts()},
             finished=self.env.event(), total_tasks=len(table))
+        if hooks.HB is not None:
+            self._hb_exec(f"begin:{execution_id}")
         self._executions[execution_id] = state
         by_site: dict[str, dict[str, list]] = {}
         for host in sorted(table.hosts()):
@@ -412,6 +423,8 @@ class SiteManager:
         if payload["host"] not in state.received_acks:
             self._log("ack", {"execution_id": payload["execution_id"],
                               "host": payload["host"]})
+        if hooks.HB is not None:
+            self._hb_exec(f"ack:{payload['execution_id']}")
         state.received_acks.add(payload["host"])
         self._maybe_start(state)
 
@@ -419,6 +432,8 @@ class SiteManager:
         """Emit the start signal once every expected ack is in (or waived)."""
         if state.started or not (state.received_acks >= state.expected_acks):
             return
+        if hooks.HB is not None:
+            self._hb_exec(f"start:{state.execution_id}")
         state.started = True
         state.start_signal_time = self.env.now
         self._log("start", {"execution_id": state.execution_id})
@@ -444,6 +459,8 @@ class SiteManager:
             # re-push): already recorded, must not double-count
             return
         self._log("task-completed", payload)
+        if hooks.HB is not None:
+            self._hb_exec(f"completed:{payload['execution_id']}")
         state.completed_tasks[payload["node_id"]] = payload
         if self.obs.enabled:
             self.obs.metrics.counter(

@@ -129,6 +129,10 @@ class DataManager:
         except KeyError:
             raise ChannelError(f"no open channel {key!r}") from None
 
+    def has_endpoint(self, key: str) -> bool:
+        """True when the receive store for *key* is open on this host."""
+        return key in self._endpoints
+
     def close_execution(self, execution_id: str) -> None:
         """Tear down all channels of one finished execution."""
         prefix = f"{execution_id}:"

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from heapq import nsmallest
 
 from repro.afg.graph import ApplicationFlowGraph, TaskNode
+from repro.analysis import hooks
 from repro.prediction.predict import PerformancePredictor
 from repro.repository.delta import DeltaEvent, DeltaTracker
 from repro.repository.resource_perf import ResourceRecord
@@ -123,6 +124,20 @@ class HostSelector:
         self.incremental = incremental
         self._views: dict[tuple[str, float, int, str | None], _ClassView] = {}
         self._tracker: DeltaTracker = repository.delta
+
+    def _hb_note(self, node: TaskNode) -> None:
+        """Report this selection round to the attached sanitizer: reads
+        of the site's repository DBs, plus (incrementally) a write to
+        this selector's view cell — the cursor, score and ranked caches
+        all mutate, so a selector shared across unordered same-tick
+        contexts is a real hazard."""
+        hb = hooks.HB
+        site = self.repository.site
+        hb.read(site, "resource_performance", node.task_name)
+        hb.read(site, "task_constraints", node.task_name)
+        if self.incremental:
+            hb.write(site, hb.name_for(self, "selector-view"),
+                     node.task_name)
 
     # -- candidate filtering ---------------------------------------------
     def feasible_records(self, node: TaskNode) -> list[ResourceRecord]:
@@ -260,17 +275,24 @@ class HostSelector:
             if len(self._views) >= VIEW_MAX_ENTRIES:
                 self._views.clear()
             view = _ClassView()
+            # capture the generation *before* walking: a mutation landing
+            # mid-rebuild (re-entrant subscriber, monitor piggyback) bumps
+            # the journal, and stamping the post-walk generation would
+            # mark those events consumed without the walk having seen
+            # their effect on every record
+            gen = tracker.generation
             self._rebuild_view(view, node, processors)
-            view.cursor = tracker.generation
+            view.cursor = gen
             self._views[key] = view
             return view
         if view.cursor != tracker.generation:
+            gen = tracker.generation
             events = tracker.events_since(view.cursor)
             if events is None:  # journal compacted past our cursor
                 self._rebuild_view(view, node, processors)
             elif events:
                 self._apply_events(view, node, processors, events)
-            view.cursor = tracker.generation
+            view.cursor = gen
         return view
 
     def _top_n(self, view: _ClassView, n: int
@@ -324,6 +346,8 @@ class HostSelector:
         extension consults the alternatives.  Parallel tasks have a
         single (multi-host) choice.
         """
+        if hooks.HB is not None:
+            self._hb_note(node)
         if self.incremental:
             props = node.properties
             processors = (props.processors
@@ -355,6 +379,8 @@ class HostSelector:
 
     def select_for_task(self, node: TaskNode) -> HostChoice:
         """Minimum-``Predict`` host(s) at this site for one task."""
+        if hooks.HB is not None:
+            self._hb_note(node)
         if self.incremental:
             props = node.properties
             processors = (props.processors

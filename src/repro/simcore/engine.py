@@ -128,6 +128,9 @@ class Event:
         self._value = value
         env = self.env
         heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
+        hb = env._hb
+        if hb is not None:
+            hb.on_trigger(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -140,6 +143,9 @@ class Event:
         self._exception = exception
         env = self.env
         heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
+        hb = env._hb
+        if hb is not None:
+            hb.on_trigger(self)
         return self
 
     def _run_callbacks(self) -> None:
@@ -284,6 +290,9 @@ class Process(Event):
         # Bootstrap: resume the generator as soon as the env runs.
         heappush(env._queue, (env._now, URGENT, next(env._seq),
                               _Resume(self, _INIT)))
+        hb = env._hb
+        if hb is not None:
+            hb.on_spawn(self)
 
     @property
     def is_alive(self) -> bool:
@@ -313,6 +322,9 @@ class Process(Event):
         hit._exception = Interrupt(cause)
         hit.callbacks = self._resume_cb
         heappush(env._queue, (env._now, URGENT, next(env._seq), hit))
+        hb = env._hb
+        if hb is not None:
+            hb.on_trigger(hit)
 
     def _resume(self, event: Event, _mark=_NO_WAITERS) -> None:
         # ``env._active_process`` is set here and cleared lazily when the
@@ -381,6 +393,9 @@ class Process(Event):
         self._target = None
         self._send = self._throw = self._resume_cb = None  # type: ignore[assignment]
         heappush(env._queue, (env._now, NORMAL, next(env._seq), self))
+        hb = env._hb
+        if hb is not None:
+            hb.on_trigger(self)
 
 
 class AllOf(Event):
@@ -479,13 +494,17 @@ class Environment:
     """The simulation environment: clock + event queue + process factory."""
 
     __slots__ = ("_now", "_queue", "_seq", "_active_process",
-                 "failed_processes")
+                 "failed_processes", "_hb")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event | _Resume]] = []
         self._seq = count(1)
         self._active_process: Process | None = None
+        #: Happens-before recorder (``repro.analysis``), attached only
+        #: while a sanitizer session is active.  ``None`` keeps every
+        #: kernel hook at a single attribute load + identity check.
+        self._hb: Any = None
         #: (time, process name, exception) for every process that died on
         #: an unhandled exception — inspect after a run to catch silent
         #: daemon crashes.
@@ -536,8 +555,12 @@ class Environment:
         """
         if delay < 0:
             raise SimulationError(f"negative call_later delay: {delay}")
+        entry = _Callback(fn, arg)
         heappush(self._queue, (self._now + delay, NORMAL, next(self._seq),
-                               _Callback(fn, arg)))
+                               entry))
+        hb = self._hb
+        if hb is not None:
+            hb.on_schedule(entry)
 
     # -- scheduling -------------------------------------------------------
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
@@ -552,6 +575,10 @@ class Environment:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
+        hb = self._hb
+        if hb is not None:
+            hb.step(self)
+            return
         when, _prio, _seq, event = heappop(self._queue)
         if when < self._now:
             raise SimulationError("event queue time went backwards")
@@ -570,6 +597,11 @@ class Environment:
         so per-event cost is one pop, one time store, and the callbacks
         themselves.
         """
+        hb = self._hb
+        if hb is not None:
+            # Sanitizer attached: delegate to the recorder's instrumented
+            # loop (same dispatch semantics, plus clock propagation).
+            return hb.run_loop(self, until)
         queue = self._queue
         pop = heappop
         mark = _NO_WAITERS

@@ -49,6 +49,9 @@ class Store:
     def put(self, item: Any) -> StorePut:
         """Insert *item*; returns an event that triggers once stored."""
         ev = StorePut(self.env, item)
+        hb = self.env._hb
+        if hb is not None:
+            hb.store_put(ev)
         self._putters.append(ev)
         self._dispatch()
         return ev
@@ -69,9 +72,14 @@ class Store:
             self.put(item)
             return
         if self._getters and not self.items:
+            # Direct handoff: the putter's context triggers the getter's
+            # event, so the happens-before edge rides the trigger clock.
             self._getters.popleft().succeed(item)
         else:
             self.items.append(item)
+            hb = self.env._hb
+            if hb is not None:
+                hb.store_append(self)
 
     def get(self) -> StoreGet:
         """Return an event that triggers with the oldest item."""
@@ -84,11 +92,15 @@ class Store:
         """Non-blocking get: the oldest item or ``None`` when empty."""
         if self.items:
             item = self.items.popleft()
+            hb = self.env._hb
+            if hb is not None:
+                hb.store_taken(self)
             self._dispatch()
             return item
         return None
 
     def _dispatch(self) -> None:
+        hb = self.env._hb
         progressed = True
         while progressed:
             progressed = False
@@ -98,10 +110,15 @@ class Store:
             ):
                 put = self._putters.popleft()
                 self.items.append(put.item)
+                if hb is not None:
+                    hb.store_buffered(self, put)
                 put.succeed()
                 progressed = True
             # Satisfy waiting gets from the buffer.
             while self._getters and self.items:
                 get = self._getters.popleft()
-                get.succeed(self.items.popleft())
+                item = self.items.popleft()
+                if hb is not None:
+                    hb.store_handoff(self, get)
+                get.succeed(item)
                 progressed = True

@@ -99,6 +99,29 @@ class TestFailoverExactlyOnce:
         assert_invariants(outcome)
 
 
+class TestUnsourceableRepush:
+    def test_promotion_repush_never_kills_daemons(self):
+        """Seed-13 regression, found by the happens-before triage sweep.
+
+        rome/h1 crashes; its tasks reschedule (with forwarded inputs) to
+        rome/h2; then rome's server crashes and h2 promotes.  The
+        facade's promotion healing re-pushes every incomplete task at
+        its current table assignment as an ``immediate`` push *without*
+        inputs — and rome/h2 never opened those tasks' input endpoints,
+        so the re-pushed task used to die on
+        ``ChannelError("no open channel ...")``, taking its ``ac-exec``
+        parent with it.  The Application Controller must refuse to run
+        an immediate entry whose inputs cannot be sourced locally.
+        """
+        outcome = run_chaos(13, failover_standbys=STANDBYS,
+                            include_servers=True)
+        assert_invariants(outcome)
+        assert outcome.status == "completed"
+        assert outcome.failovers >= 1
+        assert outcome.completions == outcome.total_tasks
+        assert outcome.failed_processes == []
+
+
 class TestFailoverDeterminism:
     def test_same_seed_byte_identical_injector_log(self, chaos_seed):
         first = run_chaos(chaos_seed, failover_standbys=STANDBYS,

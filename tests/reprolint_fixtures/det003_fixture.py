@@ -1,0 +1,30 @@
+"""DET003 fixture: same-tick scheduling without a tie-break.
+
+Lines carrying the expect annotation must be reported; all other lines
+must stay clean.
+"""
+
+
+def bad_zero_delay(env, fn):
+    env.call_later(0, fn, None)  # expect: DET003
+    env.call_later(0.0, fn, "arg")  # expect: DET003
+
+
+def bad_unordered_spawn(env, daemons, fn):
+    for daemon in {d for d in daemons}:
+        env.process(daemon.run(), name="d")  # expect: DET003
+    for name in set(daemons):
+        env.call_later(1.0, fn, name)  # expect: DET003
+    for daemon in frozenset(daemons):
+        for _ in range(2):
+            env.process(daemon.run())  # expect: DET003
+
+
+def fine_positive_delay_and_sorted(env, daemons, fn):
+    env.call_later(0.5, fn, None)
+    delay = 0
+    env.call_later(delay, fn, None)  # non-literal delay: out of scope
+    for daemon in sorted(daemons):
+        env.process(daemon.run(), name="d")
+    for daemon in list(daemons):
+        env.call_later(1.0, fn, daemon)

@@ -1,0 +1,36 @@
+"""ISO001 fixture: cross-site reach-through mutations vs. legitimate use.
+
+Lines carrying the expect annotation must be reported; all other lines
+must stay clean.
+"""
+
+
+class Facade:
+    def __init__(self, repositories, site_managers, monitors):
+        self.repositories = repositories
+        self.site_managers = site_managers
+        self.monitors = monitors
+        self.repository = repositories["local"]
+
+    def bad_registry_mutations(self, site, host, t):
+        rp = "resource_performance"
+        self.repositories[site].resource_performance.mark_down(host, t)  # expect: ISO001
+        self.repositories[site].task_performance.record_execution(  # expect: ISO001
+            "solve", host, input_size=1.0, elapsed_s=2.0, time=t)
+        self.site_managers[site]._executions.clear()  # expect: ISO001
+        self.monitors[host].mailbox.put_nowait({"kind": "fake"})  # expect: ISO001
+        _ = rp
+
+    def bad_foreign_repository(self, sm, host, t):
+        sm.repository.resource_performance.mark_up(host, t)  # expect: ISO001
+
+    def fine_reads_and_own_state(self, site, host, t):
+        # reads through registries are the facade's job (staleness paid)
+        record = self.repositories[site].resource_performance.get(host)
+        # a daemon mutating its own repository is the owner
+        self.repository.resource_performance.mark_down(host, t)
+        return record
+
+    def fine_local_alias(self, host, t):
+        repo = self.repository
+        repo.resource_performance.mark_up(host, t)

@@ -140,7 +140,56 @@ class TestDifferentialOracle:
         assert repo.delta.events_since(0) is None  # cursor unrecoverable
         assert_same_selection(incremental, oracle, graph)
 
-    def test_infeasibility_parity_when_constraints_vanish(self, registry):
+    def test_compaction_racing_consumer_mid_rebuild(self, registry):
+        """Mutations landing mid-rebuild must not be marked consumed.
+
+        Compaction forces a full view rebuild; a monitoring update that
+        lands inside the rebuild window — after the walk passed its host
+        but before the cursor re-stamp — bumps the journal generation.
+        Stamping the post-walk generation would mark that event consumed
+        without the walk having seen it, leaving the view stale forever;
+        the cursor must be captured before the walk so the next round
+        replays the racing event.
+        """
+        fed = build_federation(registry=registry, hosts_per_site=4)
+        repo = fed.repositories[SITE]
+        graph = make_graph(registry, 1)
+        incremental = HostSelector(repo)
+        oracle = HostSelector(repo, incremental=False)
+        assert_same_selection(incremental, oracle, graph)  # views built
+        repo.delta.max_journal = 4
+        rp = repo.resource_performance
+        hosts = sorted(r.address for r in rp.all_records())
+        for i in range(30):  # compact past every cursor the views hold
+            rp.update_dynamic(hosts[i % len(hosts)], cpu_load=0.3 * (i % 5),
+                              available_memory_mb=64.0, time=float(i + 1))
+        # make hosts[0] the worst candidate, so a stale view never picks
+        # it — yet after the race it is the only host left alive
+        rp.update_dynamic(hosts[0], cpu_load=19.0,
+                          available_memory_mb=64.0, time=31.0)
+        assert repo.delta.events_since(0) is None
+        # arm the race: a forced rebuild of a multi-candidate view
+        # completes its walk, then every other host dies before the
+        # cursor is re-stamped (a single-candidate view — e.g. the
+        # machine-type-pinned class — could never expose the staleness)
+        real_rebuild = incremental._rebuild_view
+        fired = []
+
+        def racing_rebuild(view, node, processors):
+            real_rebuild(view, node, processors)
+            if not fired and len(view.scores) > 1:
+                fired.append(True)
+                for addr in hosts[1:]:
+                    rp.mark_down(addr, time=99.0)
+
+        incremental._rebuild_view = racing_rebuild
+        incremental.select(graph)  # rebuild happens; the race fires
+        incremental._rebuild_view = real_rebuild
+        assert fired
+        # next round: the racing mark_downs must reach every view — a
+        # consumer that stamped the post-walk generation would still
+        # propose the dead hosts here
+        assert_same_selection(incremental, oracle, graph)
         fed = build_federation(registry=registry, hosts_per_site=3)
         repo = fed.repositories[SITE]
         b = GraphBuilder(registry, name="one")

@@ -53,8 +53,10 @@ def run_rule(rule: str, path: Path) -> list[Finding]:
 @pytest.mark.parametrize("rule, fixture", [
     ("DET001", "det001_fixture.py"),
     ("DET002", "det002_fixture.py"),
+    ("DET003", "det003_fixture.py"),
     ("INV001", "inv001_fixture.py"),
     ("INV002", "inv002_fixture.py"),
+    ("ISO001", "iso001_fixture.py"),
     ("SIM001", "sim001_fixture.py"),
     ("PERF001", "perf001_fixture.py"),
     ("PERF001", "perf001_obs_fixture.py"),
@@ -98,8 +100,10 @@ def test_cli_nonzero_with_correct_rule_ids_on_fixtures() -> None:
              for f in doc["findings"]}
     for rule, fixture in [("DET001", "det001_fixture.py"),
                           ("DET002", "det002_fixture.py"),
+                          ("DET003", "det003_fixture.py"),
                           ("INV001", "inv001_fixture.py"),
                           ("INV002", "inv002_fixture.py"),
+                          ("ISO001", "iso001_fixture.py"),
                           ("SIM001", "sim001_fixture.py"),
                           ("PERF001", "perf001_fixture.py"),
                           ("PERF001", "perf001_obs_fixture.py")]:
@@ -212,6 +216,32 @@ def test_parse_errors_fail_the_run(tmp_path: Path) -> None:
         excludes=()).run([tmp_path])
     assert not result.ok
     assert result.parse_errors and "broken.py" in result.parse_errors[0]
+
+
+def test_sarif_output_round_trips(tmp_path: Path) -> None:
+    result = LintRunner(
+        [ALL_CHECKERS["ISO001"](ignore_path_filters=True)],
+        excludes=()).run([FIXTURES / "iso001_fixture.py"])
+    doc = json.loads(result.render_sarif({"ISO001": "cross-site writes"}))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "ISO001" in rules
+    assert run["results"], "no SARIF results for a finding-laden fixture"
+    for res in run["results"]:
+        assert res["ruleId"] == "ISO001"
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("iso001_fixture.py")
+        assert loc["region"]["startLine"] > 0
+    # the CLI writes the same document via --format sarif --output
+    out = tmp_path / "lint.sarif"
+    proc = run_cli("tests/reprolint_fixtures/iso001_fixture.py",
+                   "--no-path-filter", "--no-default-excludes",
+                   "--select", "ISO001", "--format", "sarif",
+                   "--output", str(out))
+    assert proc.returncode == 1  # findings still fail the run
+    cli_doc = json.loads(out.read_text())
+    assert {r["ruleId"] for r in cli_doc["runs"][0]["results"]} == {"ISO001"}
 
 
 def test_json_output_round_trips() -> None:

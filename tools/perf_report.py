@@ -280,6 +280,59 @@ def bench_e2e_layered_graph(scale: int) -> int:
     return ops
 
 
+def bench_engine_ping_pong_hb_off(scale: int) -> int:
+    """The kernel loop after a sanitizer attach/detach cycle.
+
+    Attaches a real :class:`repro.analysis.AnalysisSession` and detaches
+    it again before the timed loop, then asserts the environment is back
+    on the plain dispatch path.  Both this and ``engine_ping_pong`` run
+    the identical guarded loop, so the same-run ratio pins the off-mode
+    cost of the happens-before hooks to zero within measurement
+    resolution — and trips the 2% floor immediately if a future change
+    leaves ``env._hb`` (or the layer-hook global) set after detach.
+    """
+    from repro.analysis import AnalysisSession
+    from repro.analysis import hooks as hb_hooks
+    env = Environment()
+    with AnalysisSession(env):
+        pass  # attach/detach round trip — must leave no residue
+    assert env._hb is None and hb_hooks.HB is None
+    n = 200 * scale
+
+    def ponger(env, n):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    for _ in range(10):
+        env.process(ponger(env, n))
+    env.run()
+    assert env.now == float(n)
+    return 10 * n
+
+
+def bench_e2e_hb_enabled(scale: int) -> int:
+    """The solver e2e with the happens-before sanitizer attached.
+
+    Informational: shows what ``repro analyze`` pays for full vector-
+    clock propagation and cell tracking (the off mode is gated, the on
+    mode is merely reported).
+    """
+    from repro.analysis import AnalysisSession
+    ops = 0
+    for seed in range(scale):
+        vdce = quiet_testbed(seed=63 + seed, trace=False)
+        vdce.start()
+        with AnalysisSession(vdce.env, sites=vdce.world.sites) as session:
+            session.track_vdce(vdce)
+            graph = linear_solver_graph(vdce.registry, n=40)
+            run = vdce.run_application(graph, "syracuse",
+                                       max_sim_time_s=600)
+            assert run.status == "completed"
+            assert not session.recorder.unsuppressed_races()
+        ops += len(run.completions)
+    return ops
+
+
 def bench_e2e_obs_disabled(scale: int) -> int:
     """bench_e2e_linear_solver with an attached-but-disabled obs handle.
 
@@ -330,6 +383,8 @@ BENCHMARKS = {
     "e2e_layered_graph": (bench_e2e_layered_graph, 10, 3),
     "e2e_obs_disabled": (bench_e2e_obs_disabled, 10, 3),
     "e2e_obs_enabled": (bench_e2e_obs_enabled, 10, 3),
+    "engine_ping_pong_hb_off": (bench_engine_ping_pong_hb_off, 100, 5),
+    "e2e_hb_enabled": (bench_e2e_hb_enabled, 10, 3),
 }
 
 #: Same-run obs-overhead gate: ``e2e_obs_disabled`` must stay within
@@ -349,6 +404,15 @@ INCREMENTAL_SPEEDUP_MIN = 5.0
 #: delivery by this factor on the shared 1000-way fixture.  Same process,
 #: same machine — the ratio is hardware-noise-immune.
 BATCH_SPEEDUP_MIN = 3.0
+
+#: Interleaved sanitizer-off gate: the kernel loop after an
+#: ``AnalysisSession`` attach/detach cycle must stay within this
+#: fraction of the plain-kernel leg (see ``check_hb_overhead``).  When
+#: the sanitizer is off the hooks are a single ``is None`` check, so
+#: the two legs run the identical hot loop — the gate exists to catch
+#: any future change that leaves the recorder armed after detach or
+#: makes the off state do real work.
+HB_OVERHEAD_TOLERANCE = 0.02
 
 
 # ---------------------------------------------------------------------------
@@ -436,6 +500,51 @@ def check_obs_overhead(fresh: dict,
     return []
 
 
+def _hb_gate_leg(attach_cycle: bool, n: int = 20_000) -> float:
+    """One timed ping-pong leg; ops/s.  Optionally pre-cycles a session."""
+    from repro.analysis import AnalysisSession
+    env = Environment()
+    if attach_cycle:
+        with AnalysisSession(env):
+            pass  # attach/detach round trip — must leave no residue
+        assert env._hb is None
+
+    def ponger(env, n):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    for _ in range(10):
+        env.process(ponger(env, n))
+    t0 = time.perf_counter()
+    env.run()
+    return 10 * n / (time.perf_counter() - t0)
+
+
+def check_hb_overhead(tolerance: float = HB_OVERHEAD_TOLERANCE,
+                      pairs: int = 9) -> list[str]:
+    """Interleaved A/B gate: the sanitizer-off kernel must be free.
+
+    The plain leg and the attach/detach-cycled leg alternate
+    back-to-back (best-of-``pairs`` each) so scheduler jitter hits both
+    sides equally; the separately-timed benchmark slots drift by more
+    than the 2% budget on a busy machine, this pairing stays within
+    ±0.5%.
+    """
+    base = off = 0.0
+    for _ in range(pairs):
+        base = max(base, _hb_gate_leg(attach_cycle=False))
+        off = max(off, _hb_gate_leg(attach_cycle=True))
+    floor = base * (1.0 - tolerance)
+    if off < floor:
+        return [
+            f"hb off overhead: {off:,.0f} ops/s < floor {floor:,.0f} "
+            f"({tolerance:.0%} of the interleaved plain-kernel leg "
+            f"{base:,.0f}); with the sanitizer detached the kernel must "
+            "run the plain dispatch path — detach is leaving the "
+            "recorder armed"]
+    return []
+
+
 def check_fast_path_speedups(fresh: dict) -> list[str]:
     """The tentpole gates for the incremental/batched hot paths."""
     failures = []
@@ -505,12 +614,26 @@ def main(argv: list[str] | None = None) -> int:
               f"enabled {1.0 - on['ops_per_s'] / base['ops_per_s']:+.1%} "
               "vs uninstrumented e2e (same run)")
 
+    ping = benchmarks.get("engine_ping_pong")
+    hb_off = benchmarks.get("engine_ping_pong_hb_off")
+    hb_on = benchmarks.get("e2e_hb_enabled")
+    if ping and hb_off:
+        line = (f"hb sanitizer: off "
+                f"{1.0 - hb_off['ops_per_s'] / ping['ops_per_s']:+.1%} "
+                "vs same-run plain kernel")
+        if hb_on and base:
+            line += (f", enabled e2e "
+                     f"{1.0 - hb_on['ops_per_s'] / base['ops_per_s']:+.1%} "
+                     "vs uninstrumented e2e")
+        print(line)
+
     if args.check is not None:
         if not args.check.exists():
             print(f"no baseline at {args.check}; nothing to compare")
             return 0
         failures = check_regressions(benchmarks, args.check, args.tolerance)
         failures += check_obs_overhead(benchmarks)
+        failures += check_hb_overhead()
         failures += check_fast_path_speedups(benchmarks)
         if failures:
             print("PERF REGRESSION:")

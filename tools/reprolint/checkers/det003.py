@@ -1,0 +1,86 @@
+"""DET003: same-tick scheduling without a deterministic tie-break.
+
+The kernel breaks same-``(time, priority)`` ties by insertion sequence.
+That is deterministic *within* one run, but it means relative order
+among independently scheduled same-tick callbacks is an accident of
+call order — refactoring, batching, or an extra subscriber silently
+reorders them.  Scheduling decisions must therefore never be derived
+from same-tick callback order without an explicit tie-break key.
+
+Two statically visible hazards:
+
+* ``call_later`` with a literal zero delay — a same-tick callback whose
+  position among same-tick siblings is pure insertion order; give it a
+  positive delay or fold the work into the current callback;
+* ``call_later``/``process`` invoked in a loop over an unordered
+  ``set``/``frozenset`` expression — the spawn *sequence* (and with it
+  every same-tick tie-break downstream) becomes
+  ``PYTHONHASHSEED``-dependent.  (DET001 flags set iteration broadly in
+  kernel paths; this rule covers the scheduling-specific case across
+  the whole library.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import Checker
+
+_SCHEDULING_METHODS = ("call_later", "process")
+
+
+class SameTickOrderChecker(Checker):
+    rule = "DET003"
+    description = ("same-tick call_later/process scheduling whose "
+                   "callback order lacks a deterministic tie-break")
+    path_filters = ("repro/",)
+    exempt_files = ("realsock.py",)
+    default_config: dict[str, object] = {
+        "scheduling_methods": _SCHEDULING_METHODS,
+    }
+
+    def begin_file(self, tree: ast.Module, source: str) -> None:
+        self._loop_depth = 0
+        self._unordered_loop = False
+
+    def _is_scheduling_call(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute):
+            methods = self.config["scheduling_methods"]
+            if node.func.attr in methods:  # type: ignore[operator]
+                return node.func.attr
+        return None
+
+    @staticmethod
+    def _is_unordered_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset"))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        method = self._is_scheduling_call(node)
+        if method == "call_later" and node.args:
+            delay = node.args[0]
+            if isinstance(delay, ast.Constant) and delay.value == 0:
+                self.report(node, (
+                    "call_later with a zero delay fires this tick; its "
+                    "order among same-tick siblings is insertion order — "
+                    "use a positive delay or run the work inline"))
+        if method and self._loop_depth and self._unordered_loop:
+            self.report(node, (
+                f"{method}() inside a loop over an unordered set: the "
+                "spawn sequence (the kernel's same-tick tie-break) "
+                "becomes PYTHONHASHSEED-dependent; sort the iterable"))
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        unordered = self._is_unordered_set_expr(node.iter)
+        prev = self._unordered_loop
+        self._loop_depth += 1
+        self._unordered_loop = unordered or prev
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self._loop_depth -= 1
+        self._unordered_loop = prev

@@ -1,0 +1,112 @@
+"""ISO001: direct cross-site state mutation (the shardability rule).
+
+The architecture's sharding contract — certified dynamically by
+``repro analyze`` — is that every cross-site interaction flows through
+the simulated :class:`~repro.net.network.Network`.  Library code must
+never reach *through* a daemon registry or a foreign daemon reference
+and mutate another site's repository, store, or manager state directly:
+such a call would be invisible to the network layer (and impossible once
+sites live in separate processes).
+
+Two reach-through shapes are flagged when they terminate in a known
+mutator call:
+
+* a subscript of a cross-site daemon registry anywhere in the receiver
+  chain — ``self.repositories[site].resource_performance.mark_down(...)``,
+  ``vdce.site_managers[name]._executions.clear()``;
+* another object's ``.repository`` attribute — ``sm.repository.…`` —
+  where the base is not ``self`` (a daemon mutating its *own* site's
+  repository is the owner, not a trespasser).
+
+Reads are fine (the facade legitimately consults remote repositories for
+scheduling, paying the staleness); ``self.repository`` mutations are
+fine; tests and tools are out of scope.  Genuine exceptions (e.g. a
+seeding helper) carry a ``# reprolint: disable=ISO001`` justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import Checker
+
+#: attribute names that hold per-site daemon/state registries
+_CROSS_SITE_REGISTRIES = (
+    "repositories", "site_managers", "group_managers", "monitors",
+    "data_managers", "app_controllers", "replicas", "standbys",
+)
+
+#: state-mutating methods on repositories, stores, and managers
+_MUTATORS = (
+    # repository databases
+    "register_host", "update_dynamic", "mark_down", "mark_up",
+    "register_executable", "register_task", "set_weight",
+    "record_execution", "add_user", "remove_user", "subscribe",
+    # simulation stores / queues
+    "put", "put_nowait",
+    # generic container mutation on reached-through state
+    "clear", "update", "setdefault",
+)
+
+
+class IsolationChecker(Checker):
+    rule = "ISO001"
+    description = ("direct mutation of another site's repository/store/"
+                   "manager state — cross-site writes must flow through "
+                   "the Network")
+    path_filters = (
+        "repro/core", "repro/runtime", "repro/scheduling",
+        "repro/recovery", "repro/workloads", "repro/experiments",
+        "repro/bakeoff", "repro/monitoring", "repro/faults",
+    )
+    default_config: dict[str, object] = {
+        "registries": _CROSS_SITE_REGISTRIES,
+        "mutators": _MUTATORS,
+    }
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in self.config["mutators"]:  # type: ignore[operator]
+            reach = self._reach_through(func.value)
+            if reach:
+                self.report(node, (
+                    f".{func.attr}() mutates state reached through "
+                    f"{reach}; cross-site state must be owned by its "
+                    "site's daemons and changed via Network messages"))
+        self.generic_visit(node)
+
+    def _reach_through(self, chain: ast.expr) -> str | None:
+        """Describe the first cross-site reach-through in the receiver
+        chain, or None when the receiver is locally owned."""
+        registries = self.config["registries"]
+        node: ast.expr | None = chain
+        while node is not None:
+            if isinstance(node, ast.Subscript):
+                base = node.value
+                name = (base.attr if isinstance(base, ast.Attribute)
+                        else base.id if isinstance(base, ast.Name)
+                        else None)
+                if name in registries:  # type: ignore[operator]
+                    return f"the {name}[...] registry"
+                node = base
+            elif isinstance(node, ast.Attribute):
+                if node.attr == "repository" and not (
+                        isinstance(node.value, ast.Name)
+                        and node.value.id == "self"):
+                    owner = self._describe(node.value)
+                    return f"{owner}.repository (a foreign daemon's)"
+                node = node.value
+            elif isinstance(node, ast.Call):
+                node = node.func
+            else:
+                return None
+        return None
+
+    @staticmethod
+    def _describe(node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return "<expr>"

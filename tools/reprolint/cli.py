@@ -18,8 +18,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files or directories to lint "
                              "(default: src tests)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="write the report here instead of stdout")
     parser.add_argument("--select", metavar="RULES",
                         help="comma-separated rule ids to run "
                              "(default: all)")
@@ -62,9 +64,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     result = LintRunner(checkers, excludes=excludes).run(args.paths)
 
     if args.format == "json":
-        print(result.render_json())
+        rendered = result.render_json()
+    elif args.format == "sarif":
+        rendered = result.render_sarif(
+            {rule: cls.description for rule, cls in ALL_CHECKERS.items()})
     else:
-        print(result.render_text())
+        rendered = result.render_text()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"reprolint: report written to {args.output}")
+    else:
+        print(rendered)
     return 0 if result.ok else 1
 
 

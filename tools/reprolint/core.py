@@ -184,6 +184,61 @@ class LintResult:
             "parse_errors": self.parse_errors,
         }, indent=2, sort_keys=True)
 
+    def render_sarif(self, rules: dict[str, str] | None = None) -> str:
+        """SARIF 2.1.0 log for code-scanning upload.
+
+        *rules* maps rule id -> description; pass the checker catalogue
+        so the viewer shows rule help.  Parse errors become tool
+        notifications (they fail the run but have no code location).
+        """
+        rules = rules or {}
+        seen = sorted({f.rule for f in self.findings} | set(rules))
+        driver = {
+            "name": "reprolint",
+            "informationUri":
+                "https://example.invalid/reprolint",  # no public docs
+            "rules": [{"id": rule,
+                       "shortDescription":
+                           {"text": rules.get(rule, rule)}}
+                      for rule in seen],
+        }
+        index = {rule: i for i, rule in enumerate(seen)}
+        results = [{
+            "ruleId": f.rule,
+            "ruleIndex": index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": Path(f.path).as_posix(),
+                        "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": f.line,
+                               "startColumn": f.col},
+                },
+            }],
+        } for f in self.findings]
+        run: dict[str, object] = {
+            "tool": {"driver": driver},
+            "columnKind": "utf16CodeUnits",
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }
+        if self.parse_errors:
+            run["invocations"] = [{
+                "executionSuccessful": False,
+                "toolExecutionNotifications": [
+                    {"level": "error", "message": {"text": err}}
+                    for err in self.parse_errors],
+            }]
+        return json.dumps({
+            "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                        "sarif-spec/master/Schemata/sarif-schema-2.1.0"
+                        ".json"),
+            "version": "2.1.0",
+            "runs": [run],
+        }, indent=2, sort_keys=True)
+
 
 class LintRunner:
     """Drive a set of checkers over a set of paths."""
