@@ -14,6 +14,13 @@ from repro.bakeoff.compare import (
     check_json_against_baseline,
     compare_to_baseline,
 )
+from repro.bakeoff.replay import (
+    DEFAULT_REPLAY_SCHEDULERS,
+    ReplayBakeoffConfig,
+    ReplayBakeoffResult,
+    ScheduledReplayBackend,
+    run_replay_bakeoff,
+)
 from repro.bakeoff.runner import (
     DEFAULT_WORKLOADS,
     BakeoffConfig,
@@ -35,9 +42,14 @@ __all__ = [
     "BakeoffConfig",
     "BakeoffResult",
     "DEFAULT_GAP_TOLERANCE",
+    "DEFAULT_REPLAY_SCHEDULERS",
     "DEFAULT_WORKLOADS",
+    "ReplayBakeoffConfig",
+    "ReplayBakeoffResult",
     "ScheduleScore",
+    "ScheduledReplayBackend",
     "WorkloadBuilder",
+    "run_replay_bakeoff",
     "check_json_against_baseline",
     "compare_to_baseline",
     "ground_truth_durations",

@@ -14,7 +14,13 @@ Gives downstream users the paper's workflow without writing code:
                   exporting Chrome-trace, Prometheus, or JSONL dumps);
 * ``bakeoff``   — score every registered scheduler over the default
                   workloads against the branch-and-bound optimal
-                  reference, emitting a table + deterministic JSON.
+                  reference, emitting a table + deterministic JSON
+                  (``--replay`` scores them under sustained
+                  multi-tenant traffic instead);
+* ``replay``    — stream a job trace or synthetic arrival process
+                  through multi-tenant admission + DRF dispatch and
+                  print the per-tenant report (or, given a positional
+                  path, render a saved post-mortem archive).
 """
 
 from __future__ import annotations
@@ -137,8 +143,52 @@ def cmd_local(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    from repro.viz import RunArchive
-    print(RunArchive.load(args.archive).render())
+    if args.archive:
+        from repro.viz import RunArchive
+        print(RunArchive.load(args.archive).render())
+        return 0
+    from repro.traffic import ReplayConfig, check_report, run_replay
+    generator = "trace" if args.trace else args.generator
+    config = ReplayConfig(
+        generator=generator, trace_path=args.trace or "",
+        seed=args.seed, arrivals=args.arrivals, users=args.users,
+        tenants=args.tenants, rate_per_s=args.rate,
+        think_time_s=args.think_time,
+        procs_per_site=args.procs_per_site,
+        weight_skew=args.weight_skew, quota_procs=args.quota_procs,
+        quota_memory_mb=args.quota_memory,
+        rate_limit_per_s=args.rate_limit, burst=args.burst,
+        max_pending=args.max_pending)
+    obs = None
+    if args.obs or args.prom:
+        from repro.obs import Observability
+        obs = Observability()
+    from repro.obs import OBS_OFF
+    report = run_replay(config, obs=obs if obs is not None else OBS_OFF)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"\nreplay JSON written to {args.json}")
+    if obs is not None and args.prom:
+        from repro.obs.export import to_prometheus_text
+        with open(args.prom, "w") as fh:
+            fh.write(to_prometheus_text(obs.metrics))
+        print(f"per-tenant Prometheus text written to {args.prom}")
+    if obs is not None and args.obs:
+        admitted = obs.metrics.counter("traffic_admitted_total").total()
+        dispatched = obs.metrics.counter("traffic_dispatched_total").total()
+        print(f"\nobs: {admitted:.0f} admissions, {dispatched:.0f} "
+              "dispatches recorded in the metrics registry")
+    if args.check:
+        problems = check_report(report)
+        if problems:
+            print(f"\nFAIL: {len(problems)} replay invariant "
+                  "violation(s):", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print("\nOK: accounting and DRF invariants hold")
     return 0
 
 
@@ -196,6 +246,8 @@ def cmd_show(args) -> int:
 
 
 def cmd_bakeoff(args) -> int:
+    if args.replay:
+        return _bakeoff_replay(args)
     from repro.bakeoff import (
         BakeoffConfig,
         check_json_against_baseline,
@@ -235,6 +287,33 @@ def cmd_bakeoff(args) -> int:
             return 1
         print(f"\nOK: no optimality-gap regressions vs {args.check} "
               f"(tolerance +{args.tolerance:.2f})")
+    return 0
+
+
+def _bakeoff_replay(args) -> int:
+    from repro.bakeoff import (
+        DEFAULT_REPLAY_SCHEDULERS,
+        ReplayBakeoffConfig,
+        run_replay_bakeoff,
+    )
+    from repro.obs import OBS_OFF, Observability
+    names = (DEFAULT_REPLAY_SCHEDULERS
+             if args.schedulers in ("all", "default")
+             else tuple(s.strip() for s in args.schedulers.split(",")))
+    config = ReplayBakeoffConfig(
+        schedulers=names, seed=args.seed,
+        arrivals=args.replay_arrivals, tenants=args.replay_tenants,
+        hosts_per_site=args.hosts)
+    obs = Observability() if args.obs else OBS_OFF
+    result = run_replay_bakeoff(config, obs=obs)
+    print(result.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json())
+        print(f"\nreplay bake-off JSON written to {args.json}")
+    if args.obs:
+        dispatched = obs.metrics.counter("traffic_dispatched_total").total()
+        print(f"\ndispatches observed across contestants: {dispatched:.0f}")
     return 0
 
 
@@ -349,9 +428,56 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--archive", default=None,
                        help="write a post-mortem JSON archive here")
 
-    replay = sub.add_parser("replay",
-                            help="render a saved post-mortem archive")
-    replay.add_argument("archive", help="path to a saved run archive")
+    replay = sub.add_parser(
+        "replay",
+        help="replay a job trace or synthetic arrival process through "
+             "multi-tenant admission + DRF dispatch (or render a saved "
+             "post-mortem archive)")
+    replay.add_argument("archive", nargs="?", default=None,
+                        help="path to a saved run archive "
+                             "(archive-render mode)")
+    replay.add_argument("--generator", default="open-loop",
+                        choices=("open-loop", "closed-loop",
+                                 "synthetic-alibaba"),
+                        help="arrival process when no --trace is given")
+    replay.add_argument("--trace", default=None,
+                        help="replay this trace file "
+                             "(job nproc submit duration user [tenant])")
+    replay.add_argument("--arrivals", type=int, default=100_000,
+                        help="arrivals to stream (lazily, never "
+                             "materialized)")
+    replay.add_argument("--users", type=int, default=1000)
+    replay.add_argument("--tenants", type=int, default=10)
+    replay.add_argument("--rate", type=float, default=40.0,
+                        help="open-loop arrivals per simulated second")
+    replay.add_argument("--think-time", type=float, default=20.0,
+                        help="closed-loop user think time (simulated s)")
+    replay.add_argument("--seed", type=int, default=11)
+    replay.add_argument("--procs-per-site", type=int, default=64)
+    replay.add_argument("--weight-skew", type=float, default=0.0,
+                        help="spread tenant DRF weights over [1, 1+skew]")
+    replay.add_argument("--quota-procs", type=int, default=0,
+                        help="per-tenant processor quota (0 = uncapped)")
+    replay.add_argument("--quota-memory", type=float, default=0.0,
+                        help="per-tenant memory quota in MB (0 = uncapped)")
+    replay.add_argument("--rate-limit", type=float, default=0.0,
+                        help="per-tenant admission tokens per second "
+                             "(0 = unthrottled)")
+    replay.add_argument("--burst", type=int, default=8,
+                        help="token-bucket burst size")
+    replay.add_argument("--max-pending", type=int, default=0,
+                        help="per-tenant pending-queue bound (0 = none)")
+    replay.add_argument("--json", default=None,
+                        help="write the deterministic replay JSON here")
+    replay.add_argument("--check", action="store_true",
+                        help="fail unless accounting and DRF invariants "
+                             "hold")
+    replay.add_argument("--obs", action="store_true",
+                        help="record per-tenant metrics in the obs "
+                             "registry")
+    replay.add_argument("--prom", default=None,
+                        help="write per-tenant Prometheus text here "
+                             "(implies --obs)")
 
     sched = sub.add_parser("schedule", help="print an allocation table")
     sched.add_argument("--app", default="linear-solver")
@@ -409,6 +535,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="allowed absolute gap increase for --check")
     bakeoff.add_argument("--obs", action="store_true",
                          help="record schedule-round spans and counters")
+    bakeoff.add_argument("--replay", action="store_true",
+                         help="score schedulers under sustained "
+                              "multi-tenant replay load instead of "
+                              "per-workload scheduling")
+    bakeoff.add_argument("--replay-arrivals", type=int, default=200,
+                         help="arrivals per contestant in --replay mode")
+    bakeoff.add_argument("--replay-tenants", type=int, default=5,
+                         help="tenant count in --replay mode")
 
     analyze = sub.add_parser(
         "analyze",

@@ -75,6 +75,11 @@ class Observability:
         self.spans.clear()
         self.current_parent = None
 
+    def __repr__(self) -> str:
+        # address-free: OBS_OFF appears as a signature default in the
+        # generated API reference, which must be byte-stable across runs
+        return f"Observability(enabled={self.enabled})"
+
 
 #: Shared inert handle for components constructed without observability.
 #: Never record through it — every call site guards on ``enabled``.

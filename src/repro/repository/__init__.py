@@ -17,12 +17,15 @@ from repro.repository.task_perf import (
 from repro.repository.webserver import RepositoryWebServer
 from repro.repository.user_accounts import (
     ACCESS_DOMAINS,
+    DEFAULT_TENANT,
+    TenantRecord,
     UserAccount,
     UserAccountsDB,
 )
 
 __all__ = [
     "ACCESS_DOMAINS",
+    "DEFAULT_TENANT",
     "DEFAULT_WINDOW",
     "DeltaEvent",
     "DeltaTracker",
@@ -36,6 +39,7 @@ __all__ = [
     "TaskConstraintsDB",
     "TaskPerformanceDB",
     "TaskPerformanceRecord",
+    "TenantRecord",
     "UserAccount",
     "UserAccountsDB",
     "composite_key",

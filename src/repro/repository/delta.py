@@ -3,7 +3,7 @@
 PR 2's version stamps tell a consumer *that* a record changed;
 they do not tell it *which* (host, task-class) pairs a change dirties,
 so every scheduling round still re-walks the full candidate set.  The
-:class:`DeltaTracker` closes that gap: the three mutable databases of a
+:class:`DeltaTracker` closes that gap: the four mutable databases of a
 :class:`~repro.repository.site_repository.SiteRepository` publish every
 mutation (through their ``subscribe``/``_notify`` hooks — the INV002
 lint contract), and the tracker accumulates them as an ordered journal
@@ -36,6 +36,10 @@ from typing import Callable
 #: weight       task name                    host address
 #: task         task name                    (unused)
 #: constraint   task name                    host address
+#: user         user name                    tenant name
+#: user-removed user name                    (unused)
+#: tenant       tenant name                  (unused)
+#: tenant-removed tenant name                (unused)
 #: ========== ============================ =======================
 DeltaEvent = tuple[str, str, str]
 

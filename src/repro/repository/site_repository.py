@@ -37,6 +37,7 @@ class SiteRepository:
         invalidation) cursors on ``self.delta``; re-wired whenever a
         database instance is replaced (:meth:`load`).
         """
+        self.user_accounts.subscribe(self.delta.record)
         self.resource_performance.subscribe(self.delta.record)
         self.task_performance.subscribe(self.delta.record)
         self.task_constraints.subscribe(self.delta.record)

@@ -1,9 +1,20 @@
-"""The user-accounts database.
+"""The user-accounts database, extended with multi-tenant records.
 
 Paper section 2: "each VDCE user account is represented by a 5-tuple:
 user name, password, user ID, priority, and access domain type."
 Passwords are stored salted-and-hashed (the paper predates that norm, but
 storing plaintext would be indefensible even in a reproduction).
+
+Beyond the paper: accounts belong to *tenants* — organisations sharing
+the federation — each carrying an admission quota (processors, memory),
+a DRF weight, and a submission rate limit.  The traffic subsystem
+(``repro.traffic``) reads tenant records for admission control and
+dominant-resource fairness; see ``docs/traffic.md``.
+
+Like the other repository databases, every mutation publishes a delta
+event through :meth:`UserAccountsDB.subscribe` (the INV002 contract), so
+incremental consumers — admission controllers caching quota views —
+observe account and tenant changes without re-walking the table.
 """
 
 from __future__ import annotations
@@ -13,11 +24,15 @@ import secrets
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.repository.delta import DeltaCallback
 from repro.repository.store import Table
 from repro.util.errors import AuthenticationError, RepositoryError
 
 #: Access-domain types: which parts of the VDCE a user may reach.
 ACCESS_DOMAINS = ("local-site", "multi-site", "administrator")
+
+#: Tenant every account lands in unless told otherwise.
+DEFAULT_TENANT = "public"
 
 
 def _hash_password(password: str, salt: str) -> str:
@@ -26,7 +41,7 @@ def _hash_password(password: str, salt: str) -> str:
 
 @dataclass(frozen=True)
 class UserAccount:
-    """The paper's 5-tuple (password held as salt+hash)."""
+    """The paper's 5-tuple (password held as salt+hash) plus a tenant."""
 
     user_name: str
     password_salt: str
@@ -34,22 +49,79 @@ class UserAccount:
     user_id: int
     priority: int
     access_domain: str
+    tenant: str = DEFAULT_TENANT
 
     def check_password(self, password: str) -> bool:
         """Constant-shape salted-hash comparison."""
         return _hash_password(password, self.password_salt) == self.password_hash
 
 
+@dataclass(frozen=True)
+class TenantRecord:
+    """One tenant's admission contract.
+
+    ``quota_procs`` / ``quota_memory_mb`` cap the tenant's concurrent
+    allocation across the federation (``0`` means uncapped);  ``weight``
+    scales its dominant-resource fair share; ``rate_per_s`` / ``burst``
+    parameterise the admission token bucket (``rate_per_s == 0`` disables
+    throttling); ``max_pending`` bounds the admitted-but-waiting queue
+    (``0`` means unbounded — backpressure by quota alone).
+    """
+
+    name: str
+    weight: float = 1.0
+    quota_procs: int = 0
+    quota_memory_mb: float = 0.0
+    rate_per_s: float = 0.0
+    burst: int = 1
+    max_pending: int = 0
+
+
 class UserAccountsDB:
-    """Accounts keyed by user name; authentication for the editor login."""
+    """Accounts + tenants keyed by name; authentication for the editor login.
+
+    Delta kinds published (see :mod:`repro.repository.delta`):
+    ``user`` (added), ``user-removed``, ``tenant`` (added or updated),
+    ``tenant-removed`` — ``a`` is the user/tenant name, ``b`` the owning
+    tenant for ``user`` events.
+    """
 
     def __init__(self) -> None:
         self._table = Table("user-accounts")
+        self._tenants = Table("tenants")
         self._next_id = 1
+        # DB-wide version clock: bumped on every account/tenant mutation so
+        # cached quota views can cheap-check staleness (INV001 pattern).
+        self._version_clock = 0
+        self._subscribers: list[DeltaCallback] = []
 
+    @property
+    def version(self) -> int:
+        """Monotone stamp of the last account/tenant mutation."""
+        return self._version_clock
+
+    def subscribe(self, callback: DeltaCallback) -> None:
+        """Register a delta callback ``cb(kind, a, b)`` (INV002 sink).
+
+        Callbacks run synchronously in subscription order on every
+        mutation — the :class:`~repro.repository.delta.DeltaTracker`
+        journal therefore sees events in exactly mutation order.
+        """
+        self._subscribers.append(callback)
+
+    def _notify(self, kind: str, a: str = "", b: str = "") -> None:
+        for cb in self._subscribers:
+            cb(kind, a, b)
+
+    def _stamp(self, kind: str, a: str = "", b: str = "") -> None:
+        self._version_clock += 1
+        self._notify(kind, a, b)
+
+    # -- accounts ---------------------------------------------------------
     def add_user(self, user_name: str, password: str, priority: int = 5,
-                 access_domain: str = "local-site") -> UserAccount:
-        """Create an account (the paper's 5-tuple)."""
+                 access_domain: str = "local-site",
+                 tenant: str = DEFAULT_TENANT) -> UserAccount:
+        """Create an account (the paper's 5-tuple, plus its tenant)."""
         if not user_name:
             raise RepositoryError("user name may not be empty")
         if user_name in self._table:
@@ -60,6 +132,9 @@ class UserAccountsDB:
                 f"expected one of {ACCESS_DOMAINS}")
         if not 0 <= priority <= 10:
             raise RepositoryError("priority must be within [0, 10]")
+        if tenant != DEFAULT_TENANT and tenant not in self._tenants:
+            raise RepositoryError(f"unknown tenant {tenant!r}; "
+                                  "add_tenant it first")
         salt = secrets.token_hex(8)
         account = UserAccount(
             user_name=user_name,
@@ -68,9 +143,11 @@ class UserAccountsDB:
             user_id=self._next_id,
             priority=priority,
             access_domain=access_domain,
+            tenant=tenant,
         )
         self._next_id += 1
         self._table.put(user_name, account.__dict__.copy())
+        self._stamp("user", user_name, tenant)
         return account
 
     def authenticate(self, user_name: str, password: str) -> UserAccount:
@@ -89,6 +166,7 @@ class UserAccountsDB:
     def remove_user(self, user_name: str) -> None:
         """Delete an account."""
         self._table.delete(user_name)
+        self._stamp("user-removed", user_name)
 
     def get(self, user_name: str) -> UserAccount:
         """Fetch an account without authenticating."""
@@ -100,14 +178,71 @@ class UserAccountsDB:
     def __len__(self) -> int:
         return len(self._table)
 
+    # -- tenants ----------------------------------------------------------
+    def add_tenant(self, record: TenantRecord) -> TenantRecord:
+        """Create or replace a tenant's admission contract."""
+        if not record.name:
+            raise RepositoryError("tenant name may not be empty")
+        if record.weight <= 0:
+            raise RepositoryError("tenant weight must be positive")
+        if record.quota_procs < 0 or record.quota_memory_mb < 0:
+            raise RepositoryError("tenant quotas may not be negative")
+        if record.rate_per_s < 0 or record.burst < 1 or record.max_pending < 0:
+            raise RepositoryError("tenant rate/burst/max_pending out of range")
+        self._tenants.put(record.name, record.__dict__.copy())
+        self._stamp("tenant", record.name)
+        return record
+
+    def remove_tenant(self, name: str) -> None:
+        """Delete a tenant record (accounts keep their tenant label)."""
+        self._tenants.delete(name)
+        self._stamp("tenant-removed", name)
+
+    def tenant(self, name: str) -> TenantRecord:
+        """Fetch a tenant's admission contract.
+
+        The :data:`DEFAULT_TENANT` always resolves (uncapped, weight 1)
+        even when never explicitly added.
+        """
+        row = self._tenants.get_or(name)
+        if row is not None:
+            return TenantRecord(**row)
+        if name == DEFAULT_TENANT:
+            return TenantRecord(name=DEFAULT_TENANT)
+        raise RepositoryError(f"unknown tenant {name!r}")
+
+    def has_tenant(self, name: str) -> bool:
+        return name in self._tenants
+
+    def tenant_names(self) -> list[str]:
+        """All explicitly-registered tenant names, sorted."""
+        return sorted(key for key, _row in self._tenants.items())
+
+    def users_of(self, tenant: str) -> list[str]:
+        """User names belonging to *tenant*, sorted."""
+        return sorted(key for key, row in self._table.items()
+                      if row.get("tenant", DEFAULT_TENANT) == tenant)
+
     # persistence passthrough
+    @staticmethod
+    def _tenants_path(path: str | Path) -> Path:
+        path = Path(path)
+        return path.with_name(path.stem + "_tenants" + path.suffix)
+
     def save(self, path: str | Path) -> None:
         self._table.save(path)
+        self._tenants.save(self._tenants_path(path))
 
     @classmethod
     def load(cls, path: str | Path) -> "UserAccountsDB":
         db = cls()
         db._table = Table.load(path)
+        tenants_file = cls._tenants_path(path)
+        if tenants_file.exists():
+            db._tenants = Table.load(tenants_file)
+        # pre-tenancy persisted rows carry no tenant column
+        for _key, row in db._table.items():
+            row.setdefault("tenant", DEFAULT_TENANT)
         ids = [row["user_id"] for _k, row in db._table.items()]
         db._next_id = max(ids, default=0) + 1
         return db

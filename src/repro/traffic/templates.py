@@ -1,0 +1,77 @@
+"""AFG template bindings: each trace arrival names an application family.
+
+A replayed job is not an opaque ``(nproc, duration)`` pair — it binds to
+one of the canonical application families in
+:mod:`repro.workloads.applications`.  A :class:`JobTemplate` is the
+static descriptor the replay engine keys on: the family builder plus
+the fixed parameterisation, a per-processor memory footprint (the
+second DRF resource), and a task-count hint.  Templates never hold
+built graphs — :func:`build_graph` constructs an
+:class:`~repro.afg.graph.ApplicationFlowGraph` on demand (the scheduled
+and VDCE replay backends build one per *dispatch*, so 100k queued
+arrivals cost 100k small tuples, not 100k graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.afg.graph import ApplicationFlowGraph
+from repro.tasklib import LibraryRegistry
+from repro.workloads.applications import APPLICATION_FAMILIES
+
+
+@dataclass(frozen=True)
+class JobTemplate:
+    """One application family at a fixed (small) parameterisation."""
+
+    name: str
+    family: str
+    params: tuple[tuple[str, Any], ...]
+    mem_per_proc_mb: float
+    tasks_hint: int
+
+    def build(self, registry: LibraryRegistry) -> ApplicationFlowGraph:
+        """Construct the AFG for one dispatched job."""
+        return build_graph(self, registry)
+
+
+#: The replay template catalogue: every canonical family, parameterised
+#: small enough that a scheduled/VDCE-backed replay dispatch stays cheap.
+#: ``mem_per_proc_mb`` is the demand the DRF allocator charges per
+#: granted processor.
+TEMPLATES: tuple[JobTemplate, ...] = (
+    JobTemplate("linear-solver", "linear-solver",
+                (("n", 40), ("verify", False)), 384.0, 7),
+    JobTemplate("fourier-pipeline", "fourier-pipeline",
+                (("n", 1024), ("stages", 2)), 256.0, 6),
+    JobTemplate("c3i-scenario", "c3i-scenario",
+                (("targets", 16), ("steps", 8)), 320.0, 9),
+    JobTemplate("fork-join", "fork-join",
+                (("width", 2), ("size", 512)), 192.0, 8),
+    JobTemplate("random-layered", "random-layered",
+                (("layers", 2), ("width", 2), ("size", 512), ("seed", 3)),
+                224.0, 9),
+)
+
+TEMPLATE_NAMES: tuple[str, ...] = tuple(t.name for t in TEMPLATES)
+
+_BY_NAME = {t.name: t for t in TEMPLATES}
+
+
+def template_by_name(name: str) -> JobTemplate:
+    """Resolve a template by name (the trace's ``template`` column)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown AFG template {name!r}; available: "
+            f"{', '.join(TEMPLATE_NAMES)}") from None
+
+
+def build_graph(template: JobTemplate,
+                registry: LibraryRegistry) -> ApplicationFlowGraph:
+    """Build the family graph for *template* against *registry*."""
+    builder = APPLICATION_FAMILIES[template.family]
+    return builder(registry, **dict(template.params))

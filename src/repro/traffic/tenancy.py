@@ -1,0 +1,72 @@
+"""Tenant provisioning: carving the federation among organisations.
+
+A tenant is a :class:`~repro.repository.user_accounts.TenantRecord` —
+the admission contract (quota, DRF weight, token-bucket rate) stored in
+the user-accounts database like any other repository row, published
+through the delta journal (INV002).  This module builds tenant sets for
+replays and provisions them (plus their simulated user accounts) into
+every site repository of a federation, exactly as a real VDCE
+deployment would register its organisations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.repository.site_repository import SiteRepository
+from repro.repository.user_accounts import TenantRecord
+from repro.traffic.trace import tenant_name, user_name
+
+
+def make_tenants(count: int, weight_skew: float = 0.0,
+                 quota_procs: int = 0, quota_memory_mb: float = 0.0,
+                 rate_per_s: float = 0.0, burst: int = 8,
+                 max_pending: int = 0) -> dict[str, TenantRecord]:
+    """Build *count* tenant records ``t00 … tNN``, sorted by name.
+
+    ``weight_skew`` tilts DRF weights linearly: tenant ``i`` gets weight
+    ``1 + skew * i / (count - 1)`` — 0 means equal shares.  Quotas and
+    rate limits apply uniformly (0 disables each).
+    """
+    if count < 1:
+        raise ValueError("tenant count must be >= 1")
+    tenants: dict[str, TenantRecord] = {}
+    for i in range(count):
+        weight = 1.0
+        if weight_skew and count > 1:
+            weight = 1.0 + weight_skew * i / (count - 1)
+        name = tenant_name(i)
+        tenants[name] = TenantRecord(
+            name=name, weight=weight, quota_procs=quota_procs,
+            quota_memory_mb=quota_memory_mb, rate_per_s=rate_per_s,
+            burst=burst, max_pending=max_pending)
+    return tenants
+
+
+def provision_tenants(repositories: Mapping[str, SiteRepository],
+                      tenants: Mapping[str, TenantRecord],
+                      users: int = 0, users_per_tenant_cap: int = 32
+                      ) -> int:
+    """Register tenants (and sample user accounts) at every site.
+
+    Tenant records land in full; user accounts — there may be thousands
+    of simulated users — are capped at *users_per_tenant_cap* concrete
+    rows per tenant (round-robin over the population), enough for
+    authentication paths to be exercised without bloating every site
+    table.  Returns the number of accounts created per site.
+    """
+    created = 0
+    names = sorted(tenants)
+    for _site, repo in sorted(repositories.items()):
+        created = 0
+        for name in names:
+            repo.user_accounts.add_tenant(tenants[name])
+        for uidx in range(min(users, len(names) * users_per_tenant_cap)):
+            uname = user_name(uidx)
+            if uname in repo.user_accounts:
+                continue
+            repo.user_accounts.add_user(
+                uname, password=f"pw-{uname}",
+                tenant=names[uidx % len(names)])
+            created += 1
+    return created

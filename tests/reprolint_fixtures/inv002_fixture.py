@@ -56,6 +56,27 @@ class TaskConstraintsDB:
         self._version += 1
 
 
+class UserAccountsDB:
+    def _notify(self, kind, a="", b=""):
+        for cb in self._subscribers:
+            cb(kind, a, b)
+
+    def _stamp(self, kind, a="", b=""):
+        self._version_clock += 1
+        self._notify(kind, a, b)
+
+    def good_add_tenant(self, record):
+        self._tenants[record.name] = record
+        self._stamp("tenant", record.name)
+
+    def bad_remove_user(self, user_name):  # expect: INV002
+        del self._table[user_name]
+        self._version_clock += 1
+
+    def read_only(self, name):
+        return self._tenants[name]
+
+
 class DeltaTracker:
     def __init__(self):
         self.generation = 0

@@ -368,6 +368,51 @@ def bench_e2e_obs_enabled(scale: int) -> int:
     return ops
 
 
+def bench_trace_replay_arrivals(scale: int) -> int:
+    """The traffic front door end-to-end: open-loop arrivals streamed
+    lazily through admission, DRF dispatch, and the capacity backend.
+    Ops are arrivals fully accounted (admitted or rejected, dispatched
+    and drained), so the number is the sustainable replay rate."""
+    from repro.traffic import ReplayConfig, run_replay
+    n = 1000 * scale
+    config = ReplayConfig(seed=5, arrivals=n, users=500, tenants=10,
+                          rate_per_s=80.0)
+    report = run_replay(config)
+    totals = report.totals()
+    assert totals["arrivals"] == n
+    assert totals["dispatched"] == totals["completed"]
+    return n
+
+
+def bench_admission_throughput(scale: int) -> int:
+    """The admission gate alone: quota + feasibility + token-bucket
+    decisions per second, no dispatch behind it."""
+    from repro.simcore import Environment as _Env
+    from repro.traffic import (
+        AdmissionController,
+        DRFAllocator,
+        JobRequest,
+        make_tenants,
+        tenant_name,
+    )
+    tenants = make_tenants(8, rate_per_s=0.0)
+    allocator = DRFAllocator(capacity_procs=1e9, capacity_memory_mb=1e12,
+                             tenants=tenants)
+    env = _Env()
+    controller = AdmissionController(
+        env, tenants, allocator,
+        demand_fn=lambda req: (float(req.nproc), 256.0 * req.nproc),
+        on_admit=lambda tenant: None)
+    n = 2000 * scale
+    for i in range(n):
+        req = JobRequest(job=f"j{i}", nproc=1 + i % 4,
+                         submit_time_s=float(i), duration_s=1.0,
+                         user=f"u{i % 100}", tenant=tenant_name(i % 8))
+        controller.submit(req)
+    assert sum(s.admitted for s in controller.stats.values()) == n
+    return n
+
+
 #: name -> (callable, scale, repeats).  Wall time is the best (minimum)
 #: of the repeats, so scheduler warm-up and allocator noise do not count.
 BENCHMARKS = {
@@ -385,6 +430,8 @@ BENCHMARKS = {
     "e2e_obs_enabled": (bench_e2e_obs_enabled, 10, 3),
     "engine_ping_pong_hb_off": (bench_engine_ping_pong_hb_off, 100, 5),
     "e2e_hb_enabled": (bench_e2e_hb_enabled, 10, 3),
+    "trace_replay_arrivals": (bench_trace_replay_arrivals, 20, 3),
+    "admission_throughput": (bench_admission_throughput, 10, 3),
 }
 
 #: Same-run obs-overhead gate: ``e2e_obs_disabled`` must stay within
@@ -413,6 +460,16 @@ BATCH_SPEEDUP_MIN = 3.0
 #: any future change that leaves the recorder armed after detach or
 #: makes the off state do real work.
 HB_OVERHEAD_TOLERANCE = 0.02
+
+#: Hard floors for the traffic subsystem (ops/s), enforced on every
+#: ``--check`` independent of the committed baseline: the replay loop
+#: must sustain trace-scale arrival rates (100k arrivals in seconds,
+#: not minutes) and the admission gate must never be the bottleneck in
+#: front of it.  Both sit ~4x under the measured rates so CI noise
+#: cannot trip them while an accidental O(n^2) in the pump or the
+#: token-bucket path will.
+TRACE_REPLAY_FLOOR_OPS_S = 8_000.0
+ADMISSION_FLOOR_OPS_S = 50_000.0
 
 
 # ---------------------------------------------------------------------------
@@ -570,6 +627,20 @@ def check_fast_path_speedups(fresh: dict) -> list[str]:
     return failures
 
 
+def check_traffic_floors(fresh: dict) -> list[str]:
+    """Hard ops/s floors for the traffic replay and admission paths."""
+    failures = []
+    for name, floor in (("trace_replay_arrivals", TRACE_REPLAY_FLOOR_OPS_S),
+                        ("admission_throughput", ADMISSION_FLOOR_OPS_S)):
+        cur = fresh.get(name)
+        if cur is not None and cur["ops_per_s"] < floor:
+            failures.append(
+                f"{name}: {cur['ops_per_s']:,.0f} ops/s < committed floor "
+                f"{floor:,.0f}; the traffic subsystem must sustain "
+                "trace-scale load")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", "-o", type=Path,
@@ -627,6 +698,14 @@ def main(argv: list[str] | None = None) -> int:
                      "vs uninstrumented e2e")
         print(line)
 
+    rep = benchmarks.get("trace_replay_arrivals")
+    adm = benchmarks.get("admission_throughput")
+    if rep and adm:
+        print(f"traffic: replay sustains {rep['ops_per_s']:,.0f} arrivals/s "
+              f"(floor {TRACE_REPLAY_FLOOR_OPS_S:,.0f}), admission "
+              f"{adm['ops_per_s']:,.0f} decisions/s "
+              f"(floor {ADMISSION_FLOOR_OPS_S:,.0f})")
+
     if args.check is not None:
         if not args.check.exists():
             print(f"no baseline at {args.check}; nothing to compare")
@@ -635,6 +714,7 @@ def main(argv: list[str] | None = None) -> int:
         failures += check_obs_overhead(benchmarks)
         failures += check_hb_overhead()
         failures += check_fast_path_speedups(benchmarks)
+        failures += check_traffic_floors(benchmarks)
         if failures:
             print("PERF REGRESSION:")
             for f in failures:

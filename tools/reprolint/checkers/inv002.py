@@ -60,7 +60,7 @@ class DeltaPublicationChecker(Checker):
     default_config: dict[str, object] = {
         # databases feeding the DeltaTracker through subscribe/_notify
         "source_classes": ("ResourcePerformanceDB", "TaskPerformanceDB",
-                           "TaskConstraintsDB"),
+                           "TaskConstraintsDB", "UserAccountsDB"),
         "version_attrs": ("version", "_version", "_version_clock"),
         "notify_methods": ("_notify",),
         "stamp_methods": ("_stamp",),
