@@ -116,6 +116,10 @@ class AnalysisSession:
                          vdce.app_controllers):
             for addr, daemon in registry.items():
                 self.tag_daemon(daemon, addr.split("/", 1)[0])
+        federation = getattr(vdce, "federation", None)
+        if federation is not None:
+            for site, daemon in federation.daemons.items():
+                self.tag_daemon(daemon, site)
         recovery = getattr(vdce, "recovery", None)
         if recovery is not None:
             for site, state in recovery.sites.items():

@@ -28,6 +28,12 @@ from typing import Any
 from repro.afg.editor import ApplicationEditor, EditorSession
 from repro.afg.graph import ApplicationFlowGraph
 from repro.faults import FaultInjector, FaultPlan
+from repro.federation import (
+    DirectorySync,
+    Federation,
+    MembershipConfig,
+    MembershipDaemon,
+)
 from repro.net import EXECUTION_REQUEST
 from repro.net.topology import LinkSpec
 from repro.obs import OBS_OFF, Observability
@@ -66,7 +72,8 @@ class VDCE:
                  reschedule_policy: ReschedulePolicy | None = None,
                  weight_jitter: float = 0.10,
                  obs: Observability | None = None,
-                 batching: bool = True) -> None:
+                 batching: bool = True,
+                 coalesce_updates: bool = True) -> None:
         self.world = VDCEnvironment(seed=seed, trace=trace)
         #: coalesce same-tick message fan-outs into batched delivery
         #: events; traces are byte-identical either way (chaos CI pins
@@ -85,10 +92,16 @@ class VDCE:
         self.echo_timeout_s = echo_timeout_s
         self.filter_policy = filter_policy
         self.reschedule_policy = reschedule_policy or ReschedulePolicy()
+        #: Group Managers coalesce same-tick forwarded monitor samples
+        #: into one batched WORKLOAD_UPDATE per round; repository and
+        #: WAL *content* is identical either way (per-sample apply)
+        self.coalesce_updates = coalesce_updates
         self.failures = FailureInjector(self.world.env, self.world.tracer)
         self.fault_injector: FaultInjector | None = None
         #: failover brain, created lazily by :meth:`enable_failover`
         self.recovery: RecoveryCoordinator | None = None
+        #: federation membership view, created by :meth:`enable_membership`
+        self.federation: Federation | None = None
         self.repositories: dict[str, SiteRepository] = {}
         self.site_managers: dict[str, SiteManager] = {}
         self.group_managers: dict[tuple[str, str], GroupManager] = {}
@@ -173,42 +186,60 @@ class VDCE:
         for host in self.world.all_hosts():
             self._byte_orders[host.address] = host.spec.byte_order
         for site_name, site in self.world.sites.items():
-            repo = SiteRepository(site_name)
-            hosts = list(site.hosts.values())
-            for host in hosts:
-                repo.resource_performance.register_host(site_name, host.spec)
-            calibrate_weights(
-                repo.task_performance, definitions, hosts, self.model,
-                coverage=calibration_coverage,
-                rng=self.world.rng.stream(f"calibration:{site_name}"))
-            for d in definitions:
-                for host in hosts:
-                    allowed = constrain.get(d.name) if constrain else None
-                    if allowed is not None and host.address not in allowed:
-                        continue
-                    repo.task_constraints.register_executable(
-                        d.name, host.address, f"/usr/vdce/bin/{d.name}")
-            if add_default_user:
-                repo.user_accounts.add_user("vdce", "vdce",
-                                            access_domain="multi-site")
+            repo = self._build_site_repository(
+                site_name, site, definitions,
+                calibration_coverage=calibration_coverage,
+                constrain=constrain, add_default_user=add_default_user)
             self.repositories[site_name] = repo
-            sm = SiteManager(self.env, self.network, site, repo,
-                             self.topology, tracer=self.tracer,
-                             obs=self.obs)
-            sm.on_reschedule_request = self._handle_reschedule_request
-            self.site_managers[site_name] = sm
+            sm = self._bring_up_site(site_name, site, repo)
             self._start_site_daemons(site_name, site, sm)
-        # host-down hook: reroute lost tasks of active executions
-        for sm in self.site_managers.values():
-            original = sm._on_host_down
-
-            def wrapped(msg, _original=original):
-                _original(msg)
-                self._handle_host_down(msg.payload["host"])
-
-            sm._on_host_down = wrapped  # type: ignore[method-assign]
         self._rewire_inboxes()
         self._started = True
+
+    def _build_site_repository(self, site_name: str, site,
+                               definitions,
+                               calibration_coverage: float = 1.0,
+                               constrain: dict[str, set[str]] | None = None,
+                               add_default_user: bool = True
+                               ) -> SiteRepository:
+        """Populate one site's repository (start() and site_join share it)."""
+        repo = SiteRepository(site_name)
+        hosts = list(site.hosts.values())
+        for host in hosts:
+            repo.resource_performance.register_host(site_name, host.spec)
+        calibrate_weights(
+            repo.task_performance, definitions, hosts, self.model,
+            coverage=calibration_coverage,
+            rng=self.world.rng.stream(f"calibration:{site_name}"))
+        for d in definitions:
+            for host in hosts:
+                allowed = constrain.get(d.name) if constrain else None
+                if allowed is not None and host.address not in allowed:
+                    continue
+                repo.task_constraints.register_executable(
+                    d.name, host.address, f"/usr/vdce/bin/{d.name}")
+        if add_default_user:
+            repo.user_accounts.add_user("vdce", "vdce",
+                                        access_domain="multi-site")
+        return repo
+
+    def _bring_up_site(self, site_name: str, site,
+                       repo: SiteRepository) -> SiteManager:
+        """Create and wire one Site Manager (facade hooks included)."""
+        sm = SiteManager(self.env, self.network, site, repo,
+                         self.topology, tracer=self.tracer,
+                         obs=self.obs)
+        sm.on_reschedule_request = self._handle_reschedule_request
+        self.site_managers[site_name] = sm
+        # host-down hook: reroute lost tasks of active executions
+        original = sm._on_host_down
+
+        def wrapped(msg, _original=original):
+            _original(msg)
+            self._handle_host_down(msg.payload["host"])
+
+        sm._on_host_down = wrapped  # type: ignore[method-assign]
+        return sm
 
     def _rewire_inboxes(self) -> None:
         """Rebuild site-manager dispatch tables after hook installation."""
@@ -227,7 +258,8 @@ class VDCE:
                 echo_period_s=self.echo_period_s,
                 echo_timeout_s=self.echo_timeout_s,
                 change_filter=ChangeFilter(policy=self.filter_policy),
-                tracer=self.tracer, obs=self.obs)
+                tracer=self.tracer, obs=self.obs,
+                coalesce_updates=self.coalesce_updates)
             sm.register_group_manager(gm)
             self.group_managers[(site_name, group)] = gm
             for member in members:
@@ -378,10 +410,18 @@ class VDCE:
         rescheduler = Rescheduler(self.repositories,
                                   policy=self.reschedule_policy)
         exclude = {payload["host"]}
+        # degraded mode: never re-queue into a partition — the request's
+        # own excluded sites plus whatever the coordinating site's
+        # membership view currently quarantines
+        exclude_sites = set(payload.get("exclude_sites") or ())
+        if self.federation is not None and run.report is not None:
+            exclude_sites.update(
+                self.federation.quarantined(run.report.local_site))
         forced = attempt > self.reschedule_policy.max_attempts
         try:
             new_entry = rescheduler.reschedule(node, current,
-                                               exclude_hosts=exclude)
+                                               exclude_hosts=exclude,
+                                               exclude_sites=exclude_sites)
         except VDCEError:
             # nowhere to go: force re-execution where it was
             new_entry = current
@@ -503,6 +543,296 @@ class VDCE:
         self.tracer.record(self.now, "vdce:failover", new_sm.address,
                            site=site_name)
 
+    # -- elastic federation membership --------------------------------------------
+    def enable_membership(self, config: MembershipConfig | None = None
+                          ) -> Federation:
+        """Start the membership protocol on every site.
+
+        One :class:`~repro.federation.MembershipDaemon` per site server
+        heartbeats its peers, quarantines sites it stops hearing from
+        (WAN partitions, down servers), and feeds each Site Manager's
+        ``site_filter`` so degraded-mode scheduling excludes unreachable
+        capacity.  Quarantine triggers the facade's exactly-once
+        re-queue of in-flight tasks stranded behind the partition;
+        rejoin triggers the WAL/Delta-cursor directory catch-up.
+        Idempotent; returns the shared :class:`Federation` view.
+        """
+        if not self._started:
+            raise ConfigurationError(
+                "start() the VDCE before enable_membership")
+        if self.federation is not None:
+            return self.federation
+        self.federation = Federation(config=config)
+        for site_name in sorted(self.site_managers):
+            self._make_membership_daemon(site_name)
+        for site_name in sorted(self.federation.daemons):
+            daemon = self.federation.daemons[site_name]
+            for peer in sorted(self.federation.daemons):
+                if peer != site_name:
+                    daemon.seed_peer(peer)
+        return self.federation
+
+    def _make_membership_daemon(self, site_name: str) -> MembershipDaemon:
+        """Build, register, and wire one site's membership daemon."""
+        assert self.federation is not None
+
+        def wal_log(kind: str, payload: dict, _site=site_name) -> None:
+            # late-bound so the shipper follows a failover promotion
+            self.site_managers[_site]._log(kind, payload)
+
+        daemon = MembershipDaemon(
+            self.env, self.network, self.world.site(site_name),
+            DirectorySync(self.repositories[site_name]),
+            config=self.federation.config, tracer=self.tracer,
+            obs=self.obs, wal_log=wal_log,
+            on_quarantine=self._on_site_quarantined,
+            on_rejoin=self._on_site_rejoined)
+        self.federation.add(daemon)
+        self.site_managers[site_name].site_filter = \
+            self.federation.usable_filter(site_name)
+        return daemon
+
+    def _on_site_quarantined(self, observer: str, peer: str) -> None:
+        """Degraded mode: shed the unreachable site's in-flight work.
+
+        Only runs coordinated by *observer* are touched, so of the many
+        sites that may quarantine the same peer exactly one — the
+        coordinator — re-queues each task.
+        """
+        sm = self.site_managers.get(observer)
+        if sm is not None:
+            sm.waive_site_acks(peer)
+        self._requeue_site_tasks(peer, coordinator=observer)
+        self.tracer.record(self.now, "vdce:site-quarantined",
+                           f"{observer}/server", peer=peer)
+
+    def _on_site_rejoined(self, observer: str, peer: str) -> None:
+        """Reconcile after a partition heals.
+
+        Incomplete tasks of *observer*-coordinated runs still assigned
+        at *peer* (the forced-fallback leftovers nowhere else could
+        take) are re-pushed; Application Controllers dedup by
+        ``(execution, node)`` and re-send cached completion reports, so
+        work finished behind the partition is recovered rather than
+        re-run and nothing executes twice.
+        """
+        for execution_id in sorted(self._active_runs):
+            run = self._active_runs[execution_id]
+            if run.status != "running" or run.table is None:
+                continue
+            if run.report is None or run.report.local_site != observer:
+                continue
+            sm = self.site_managers[observer]
+            for node_id in sorted(run.table.entries):
+                if node_id in run.completions:
+                    continue
+                entry = run.table.get(node_id)
+                if entry.site != peer:
+                    continue
+                fresh = SiteManager._entry_payload(entry, run.graph,
+                                                   run.table)
+                node = run.graph.node(node_id)
+                fresh["forward_inputs"] = {
+                    port: None for port in node.input_ports}
+                self.network.send(
+                    sm.address, f"{entry.host}/appctl", EXECUTION_REQUEST,
+                    payload={"application": run.graph.name,
+                             "execution_id": execution_id,
+                             "entries": [fresh],
+                             "coordinator": sm.address,
+                             "immediate": True},
+                    size_bytes=256)
+        self.tracer.record(self.now, "vdce:site-rejoined",
+                           f"{observer}/server", peer=peer)
+
+    def _requeue_site_tasks(self, peer: str,
+                            coordinator: str | None = None) -> None:
+        """Re-queue incomplete tasks placed at *peer* onto reachable sites.
+
+        With *coordinator* set, only that site's runs are considered —
+        the exactly-once guard.  Runs coordinated *by* the unreachable
+        site itself are skipped: their server keeps driving them inside
+        its own partition, and the idempotency keys absorb the overlap
+        at rejoin.
+        """
+        for execution_id in sorted(self._active_runs):
+            run = self._active_runs[execution_id]
+            if run.status != "running" or run.table is None:
+                continue
+            local_site = (run.report.local_site
+                          if run.report is not None else None)
+            if coordinator is not None and local_site != coordinator:
+                continue
+            if local_site == peer:
+                continue
+            for node_id in sorted(run.table.entries):
+                if node_id in run.completions:
+                    continue
+                entry = run.table.get(node_id)
+                if entry.site != peer:
+                    continue
+                node = run.graph.node(node_id)
+                # inputs behind the partition are unreachable; the task
+                # re-runs in simulation mode (cf. _handle_host_down)
+                inputs = {port: None for port in node.input_ports}
+                self._handle_reschedule_request({
+                    "execution_id": execution_id,
+                    "entry": {"node_id": node_id,
+                              "task_name": entry.task_name},
+                    "host": entry.host, "inputs": inputs,
+                    "exclude_sites": [peer],
+                    "reason": "site-unreachable",
+                })
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "vdce_degraded_requeues_total",
+                help="site-unreachable re-queue sweeps").inc(peer=peer)
+
+    def reachable_capacity(self, observer: str) -> int:
+        """Host count across the sites *observer* may currently use.
+
+        The admission-control denominator in degraded mode: load is
+        shed against reachable capacity, not nameplate capacity.
+        Without membership enabled every site counts.
+        """
+        total = 0
+        for name in sorted(self.world.sites):
+            if self.federation is not None and \
+                    not self.federation.is_usable(observer, name):
+                continue
+            total += len(self.world.sites[name].hosts)
+        return total
+
+    def site_join(self, name: str, hosts: list[HostSpec],
+                  links: dict[str, LinkSpec],
+                  sponsor: str | None = None,
+                  lan: LinkSpec | None = None,
+                  calibration_coverage: float = 1.0):
+        """Elastically add a running site to a started federation.
+
+        Provisions the site (hosts, WAN *links* to existing sites, LAN),
+        builds and calibrates its repository, launches its full daemon
+        stack, announces the join to every member, and bootstraps the
+        user-accounts directory with a snapshot transfer from *sponsor*
+        (default: the first member, sorted).  Requires
+        :meth:`enable_membership`.  Returns the new :class:`Site`.
+        """
+        if not self._started:
+            raise ConfigurationError("start() the VDCE before site_join")
+        if self.federation is None:
+            raise ConfigurationError(
+                "enable_membership() before site_join")
+        if not links:
+            raise ConfigurationError(
+                f"joining site {name!r} needs at least one WAN link")
+        members = sorted(self.federation.daemons)
+        site = self.world.add_site(name, lan=lan)
+        for spec in hosts:
+            host = self.world.add_host(name, spec)
+            self._byte_orders[host.address] = host.spec.byte_order
+        for peer in sorted(links):
+            self.world.connect_sites(name, peer, links[peer])
+        repo = self._build_site_repository(
+            name, site, self.registry.all_tasks(),
+            calibration_coverage=calibration_coverage,
+            add_default_user=False)  # the directory arrives via snapshot
+        self.repositories[name] = repo
+        sm = self._bring_up_site(name, site, repo)
+        self._start_site_daemons(name, site, sm)
+        daemon = self._make_membership_daemon(name)
+        for peer in members:
+            daemon.seed_peer(peer)
+        daemon.announce_join()
+        sponsor = sponsor or (members[0] if members else None)
+        if sponsor is not None:
+            daemon.request_snapshot(sponsor)
+        self.tracer.record(self.now, "vdce:site-join", f"{name}/server",
+                           hosts=len(hosts), sponsor=sponsor)
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "vdce_membership_elastic_total",
+                help="elastic site joins/leaves executed").inc(
+                    site=name, op="join")
+        return site
+
+    def site_leave(self, name: str, poll_period_s: float = 1.0,
+                   drain_timeout_s: float = 300.0):
+        """Cleanly drain and detach a site; returns the drain process.
+
+        The departure is announced first, so members stop scheduling
+        onto the leaver, then the process polls until no active run
+        involves the site (as coordinator or executor).  On drain
+        timeout its remaining tasks are force-re-queued elsewhere.
+        Finally every daemon is stopped and the site removed from the
+        world and topology.  Drive the returned process with
+        :meth:`run` (or wait on it from another process).
+        """
+        if self.federation is None:
+            raise ConfigurationError(
+                "enable_membership() before site_leave")
+        daemon = self.federation.daemon(name)
+        if poll_period_s <= 0:
+            raise ConfigurationError("poll_period_s must be positive")
+
+        def proc():
+            daemon.announce_leave()
+            deadline = self.now + drain_timeout_s
+            while self._site_involved(name) and self.now < deadline:
+                yield self.env.timeout(poll_period_s)
+            if self._site_involved(name):
+                # drain timed out: force the stragglers off the leaver
+                for other in sorted(self.site_managers):
+                    if other != name:
+                        self.site_managers[other].waive_site_acks(name)
+                self._requeue_site_tasks(name)
+                yield self.env.timeout(poll_period_s)
+            daemon.stop()
+            self.federation.remove(name)
+            self._stop_site_daemons(name)
+            del self.site_managers[name]
+            del self.repositories[name]
+            self.topology.remove_site(name)
+            del self.world.sites[name]
+            self.tracer.record(self.now, "vdce:site-leave",
+                               f"{name}/server")
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "vdce_membership_elastic_total",
+                    help="elastic site joins/leaves executed").inc(
+                        site=name, op="leave")
+
+        return self.env.process(proc(), name=f"site-leave:{name}")
+
+    def _site_involved(self, name: str) -> bool:
+        """Does any active run still coordinate at or execute on *name*?"""
+        for run in self._active_runs.values():
+            if run.status != "running":
+                continue
+            if run.report is not None and run.report.local_site == name:
+                return True
+            if run.table is None:
+                continue
+            for node_id in run.table.entries:
+                if node_id in run.completions:
+                    continue
+                if run.table.get(node_id).site == name:
+                    return True
+        return False
+
+    def _stop_site_daemons(self, site_name: str) -> None:
+        """Stop and drop every daemon of one site (site_leave teardown)."""
+        prefix = f"{site_name}/"
+        for mapping in (self.monitors, self.data_managers,
+                        self.app_controllers):
+            for addr in sorted(a for a in mapping if a.startswith(prefix)):
+                mapping.pop(addr).stop()
+        for key in sorted(k for k in self.group_managers
+                          if k[0] == site_name):
+            self.group_managers.pop(key).stop()
+        sm = self.site_managers.get(site_name)
+        if sm is not None:
+            sm.stop()
+
     # -- fault injection ---------------------------------------------------------
     def apply_fault_plan(self, plan: FaultPlan) -> FaultInjector:
         """Install a :class:`~repro.faults.FaultPlan` on this federation.
@@ -548,5 +878,8 @@ class VDCE:
             sm.stop()
         if self.recovery is not None:
             self.recovery.stop()
+        if self.federation is not None:
+            for daemon in self.federation.daemons.values():
+                daemon.stop()
         for model in self.load_models:
             model.stop()

@@ -12,6 +12,9 @@ from repro.faults.plan import (
     FaultPlan,
     HostCrash,
     LinkDegradation,
+    LinkDegrade,
+    LinkDown,
+    LinkFlap,
     LinkPartition,
     MessageFaults,
     ServerCrash,
@@ -26,6 +29,9 @@ __all__ = [
     "SiteOutage",
     "LinkPartition",
     "LinkDegradation",
+    "LinkDown",
+    "LinkFlap",
+    "LinkDegrade",
     "MessageFaults",
     "SPEC_TYPES",
 ]

@@ -28,6 +28,9 @@ from repro.faults.plan import (
     FaultPlan,
     HostCrash,
     LinkDegradation,
+    LinkDegrade,
+    LinkDown,
+    LinkFlap,
     LinkPartition,
     MessageFaults,
     ServerCrash,
@@ -80,6 +83,11 @@ class FaultInjector:
                 raise ConfigurationError(
                     f"cannot schedule {spec.kind} in the past "
                     f"({spec.at} < {self.env.now})")
+        for spec in plan.link_faults():
+            if spec.at < self.env.now:
+                raise ConfigurationError(
+                    f"cannot schedule {spec.kind} in the past "
+                    f"({spec.at} < {self.env.now})")
         self.plans.append(plan)
         for spec in plan.events:
             if isinstance(spec, HostCrash):
@@ -88,6 +96,12 @@ class FaultInjector:
                 self._schedule_site_outage(spec)
             elif isinstance(spec, ServerCrash):
                 self._schedule_server_crash(spec)
+            elif isinstance(spec, LinkDown):
+                self._schedule_link_down(spec)
+            elif isinstance(spec, LinkFlap):
+                self._schedule_link_flap(spec)
+            elif isinstance(spec, LinkDegrade):
+                self._schedule_link_degrade(spec)
             else:
                 self._windows.append(spec)
         if self._windows and not self._hook_installed:
@@ -183,6 +197,94 @@ class FaultInjector:
                              role_moved=site.server_role_host is not None)
 
         self.env.process(proc(self.env), name=f"fault:server:{spec.site}")
+
+    # -- topology-level link faults ------------------------------------------
+    def _link_label(self, a: str, b: str) -> str:
+        return "~".join(sorted((a, b)))
+
+    def _link_gone(self, a: str, b: str) -> bool:
+        """A link-fault step whose edge vanished (a ``site_leave`` took
+        the endpoint away mid-plan) is a deterministic no-op, not a
+        crash — the departure already severed the link harder than any
+        fault could."""
+        if self.network.topology.has_link(a, b):
+            return False
+        self._record("link-fault-skipped", link=self._link_label(a, b),
+                     reason="link-removed")
+        return True
+
+    def _schedule_link_down(self, spec: LinkDown) -> None:
+        topo = self.network.topology
+        topo.link(spec.site_a, spec.site_b)  # validate the edge exists now
+
+        def proc(env):
+            yield env.timeout(spec.at - env.now)
+            if self._link_gone(spec.site_a, spec.site_b):
+                return
+            topo.set_link_up(spec.site_a, spec.site_b, False)
+            self._record("link-down",
+                         link=self._link_label(spec.site_a, spec.site_b))
+            if spec.restore_after is not None:
+                yield env.timeout(spec.restore_after)
+                if self._link_gone(spec.site_a, spec.site_b):
+                    return
+                topo.set_link_up(spec.site_a, spec.site_b, True)
+                self._record("link-up",
+                             link=self._link_label(spec.site_a, spec.site_b))
+
+        self.env.process(
+            proc(self.env),
+            name=f"fault:linkdown:{self._link_label(spec.site_a, spec.site_b)}")
+
+    def _schedule_link_flap(self, spec: LinkFlap) -> None:
+        topo = self.network.topology
+        topo.link(spec.site_a, spec.site_b)
+        label = self._link_label(spec.site_a, spec.site_b)
+
+        def proc(env):
+            yield env.timeout(spec.at - env.now)
+            for cycle in range(spec.cycles):
+                if self._link_gone(spec.site_a, spec.site_b):
+                    return
+                topo.set_link_up(spec.site_a, spec.site_b, False)
+                self._record("link-down", link=label, cycle=cycle + 1)
+                yield env.timeout(spec.down_s)
+                if self._link_gone(spec.site_a, spec.site_b):
+                    return
+                topo.set_link_up(spec.site_a, spec.site_b, True)
+                self._record("link-up", link=label, cycle=cycle + 1)
+                if cycle + 1 < spec.cycles:
+                    yield env.timeout(spec.up_s)
+
+        self.env.process(proc(self.env), name=f"fault:linkflap:{label}")
+
+    def _schedule_link_degrade(self, spec: LinkDegrade) -> None:
+        topo = self.network.topology
+        topo.link(spec.site_a, spec.site_b)
+        label = self._link_label(spec.site_a, spec.site_b)
+
+        def proc(env):
+            yield env.timeout(spec.at - env.now)
+            if self._link_gone(spec.site_a, spec.site_b):
+                return
+            # capture the spec at degrade time, not install time: an
+            # earlier fault or schedule step may have rewritten it
+            original = topo.link(spec.site_a, spec.site_b)
+            degraded = type(original)(
+                latency_s=original.latency_s * spec.latency_factor,
+                bandwidth_bps=original.bandwidth_bps
+                * spec.bandwidth_factor)
+            topo.set_link(spec.site_a, spec.site_b, degraded)
+            self._record("link-degrade", link=label,
+                         bandwidth_factor=spec.bandwidth_factor,
+                         latency_factor=spec.latency_factor)
+            yield env.timeout(spec.duration)
+            if self._link_gone(spec.site_a, spec.site_b):
+                return
+            topo.set_link(spec.site_a, spec.site_b, original)
+            self._record("link-restore", link=label)
+
+        self.env.process(proc(self.env), name=f"fault:linkdegrade:{label}")
 
     # -- the Network.send hook ----------------------------------------------
     def _on_message(self, msg: Message) -> FaultAction | None:

@@ -1,0 +1,117 @@
+"""Directory catch-up: how a rejoining site converges its repository.
+
+The federation-shared portion of a site repository is the *directory* —
+user accounts and tenant records (the other three databases hold
+site-local measurements that legitimately diverge between sites).  A
+site cut off by a WAN partition misses directory mutations; when it
+rejoins, its membership daemon pulls what it missed from the first peer
+it hears again.
+
+The transfer piggybacks on the repository's existing
+:class:`~repro.repository.delta.DeltaTracker` journal: every heartbeat
+carries the sender's journal ``generation``, so each side always knows
+the last generation it observed of every peer.  On rejoin that stamp
+becomes the catch-up cursor:
+
+* ``events_since(cursor)`` still covered by the journal → **delta
+  mode**: only the dirtied user/tenant names travel, each resolved to
+  its *current* raw row (or ``None`` for a removal) — the journal is an
+  index of what changed, never the payload;
+* the journal compacted past the cursor (or there is no cursor — a
+  brand-new joiner) → **snapshot mode**: the full raw directory
+  travels, applied as an additive merge (rows the receiver holds that
+  the sender lacks are kept: they flow the other way when the peer's
+  own daemon performs its symmetric pull; removals propagate through
+  delta mode).
+
+Rows move raw (salt + hash included) and apply idempotently through
+:meth:`~repro.repository.user_accounts.UserAccountsDB.apply_user_row`,
+so directories converge to byte-identical state —
+:meth:`DirectorySync.digest` is the convergence check.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.repository.site_repository import SiteRepository
+
+#: the delta-journal kinds that describe directory mutations
+DIRECTORY_KINDS = frozenset(
+    {"user", "user-removed", "tenant", "tenant-removed"})
+
+
+class DirectorySync:
+    """Per-site directory transfer endpoint (serve and apply sides)."""
+
+    def __init__(self, repository: SiteRepository) -> None:
+        self.repository = repository
+
+    # -- cursor / digest ----------------------------------------------------
+    def generation(self) -> int:
+        """The delta-journal stamp heartbeats advertise (the cursor)."""
+        return self.repository.delta.generation
+
+    def digest(self) -> str:
+        """Canonical directory digest (see UserAccountsDB.directory_digest)."""
+        return self.repository.user_accounts.directory_digest()
+
+    # -- serving side -------------------------------------------------------
+    def build_reply(self, cursor: int | None) -> dict[str, Any]:
+        """The SYNC_REPLY payload for a peer whose view stops at *cursor*."""
+        accounts = self.repository.user_accounts
+        events = (self.repository.delta.events_since(cursor)
+                  if cursor is not None else None)
+        if events is None:
+            return {"mode": "snapshot", "generation": self.generation(),
+                    "directory": accounts.export_rows()}
+        dirty_users = sorted({a for kind, a, _b in events
+                              if kind in ("user", "user-removed")})
+        dirty_tenants = sorted({a for kind, a, _b in events
+                                if kind in ("tenant", "tenant-removed")})
+        return {
+            "mode": "delta", "generation": self.generation(),
+            "users": {name: accounts.user_row(name)
+                      for name in dirty_users},
+            "tenants": {name: accounts.tenant_row(name)
+                        for name in dirty_tenants},
+        }
+
+    @staticmethod
+    def reply_size_bytes(reply: dict[str, Any]) -> float:
+        """Transfer-model size of a reply: per-row cost plus an envelope."""
+        if reply["mode"] == "snapshot":
+            rows = (len(reply["directory"]["users"])
+                    + len(reply["directory"]["tenants"]))
+        else:
+            rows = len(reply["users"]) + len(reply["tenants"])
+        return 128.0 + 96.0 * rows
+
+    # -- applying side ------------------------------------------------------
+    def apply_reply(self, reply: dict[str, Any]) -> int:
+        """Fold a SYNC_REPLY into the local directory; rows changed.
+
+        Tenants apply before users so a transferred account never lands
+        ahead of the tenant record it references.  Application is
+        idempotent — overlapping catch-ups from several rejoined peers
+        settle on the same bytes.
+        """
+        accounts = self.repository.user_accounts
+        applied = 0
+        if reply["mode"] == "snapshot":
+            directory = reply["directory"]
+            for name in sorted(directory["tenants"]):
+                if accounts.apply_tenant_row(name,
+                                             directory["tenants"][name]):
+                    applied += 1
+            for name in sorted(directory["users"]):
+                if accounts.apply_user_row(name, directory["users"][name]):
+                    applied += 1
+            return applied
+        for name in sorted(reply["tenants"]):
+            if accounts.apply_tenant_row(name, reply["tenants"][name]):
+                applied += 1
+        for name in sorted(reply["users"]):
+            if accounts.apply_user_row(name, reply["users"][name]):
+                applied += 1
+        return applied

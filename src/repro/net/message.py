@@ -40,6 +40,15 @@ WAL_APPEND = "wal-append"              # Site Manager -> standby replicas
 SERVER_HEARTBEAT = "server-heartbeat"  # server -> standby replicas
 SERVER_PROMOTED = "server-promoted"    # new server -> standby replicas
 
+# Message kinds used by the federation membership subsystem
+# (repro.federation): site-level liveness, elastic join/leave, and the
+# directory catch-up transfer a rejoining or joining site performs.
+SITE_HEARTBEAT = "site-heartbeat"      # membership daemon -> peer sites
+SITE_JOIN = "site-join"                # joining site -> every member
+SITE_LEAVE = "site-leave"              # leaving site -> every member
+SYNC_REQUEST = "sync-request"          # rejoiner -> up-to-date peer
+SYNC_REPLY = "sync-reply"              # peer -> rejoiner (delta/snapshot)
+
 
 @dataclass(frozen=True)
 class Message:

@@ -68,6 +68,7 @@ class TrafficStats:
     bytes: float = 0.0
     dropped: int = 0
     injected_drops: int = 0
+    partition_drops: int = 0
     injected_duplicates: int = 0
     by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     bytes_by_kind: dict[str, float] = field(
@@ -205,6 +206,19 @@ class Network:
             if obs.enabled:
                 self._m_dropped.inc(reason="host-down")
             return msg
+        if (src_host != dst_host
+                and not self.topology.reachable(src_site, dst_site)):
+            # No surviving WAN route: the partition eats the message
+            # before any injected per-message fault gets a say (no RNG
+            # draws for undeliverable traffic keeps drops deterministic).
+            stats.dropped += 1
+            stats.partition_drops += 1
+            if tracer.enabled:
+                tracer.record(now, "net:partition-drop", src, dst=dst,
+                              kind=kind)
+            if obs.enabled:
+                self._m_dropped.inc(reason="partitioned")
+            return msg
         action = self.fault_hook(msg) if self.fault_hook is not None else None
         if action is not None and action.drop:
             stats.dropped += 1
@@ -310,6 +324,7 @@ class Network:
         is_up = self.is_up
         mailboxes = self._mailboxes
         transfer_time = self.topology.transfer_time
+        reachable = self.topology.reachable
         overhead = self.per_message_overhead_s
         src_site, src_host = split_address(src)
         src_up = is_up(src_host)
@@ -350,6 +365,16 @@ class Network:
                                   kind=kind)
                 if obs.enabled:
                     self._m_dropped.inc(reason="host-down")
+                continue
+            if (src_host != dst_host
+                    and not reachable(src_site, dst_site)):
+                stats.dropped += 1
+                stats.partition_drops += 1
+                if tracer.enabled:
+                    tracer.record(now, "net:partition-drop", src, dst=dst,
+                                  kind=kind)
+                if obs.enabled:
+                    self._m_dropped.inc(reason="partitioned")
                 continue
             action = fault_hook(msg) if fault_hook is not None else None
             if action is not None and action.drop:

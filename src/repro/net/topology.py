@@ -7,12 +7,26 @@ links between sites, a LAN per group, loopback within a host — and
 computes per-transfer latency/transfer-time, which the Site Scheduler
 Algorithm's ``transfer_time(S_parent, S_j)`` term consumes directly.
 
+Links are **mutable at runtime**: :meth:`Topology.set_link` rewrites a
+link's latency/bandwidth mid-run, :meth:`Topology.set_link_up` takes a
+link administratively down (and back up), and
+:meth:`Topology.schedule_link` installs a time-varying per-pair
+profile — a sorted sequence of ``(at, LinkSpec | None)`` steps applied
+lazily against the topology's sim-time ``clock`` (``None`` = link
+down for that interval).  Every mutation bumps :attr:`Topology.version`
+and invalidates the per-pair path cache, so cached transfer costs can
+never go stale (the INV001 contract).  When no path survives between
+two sites the pair is *unreachable*: :meth:`transfer_time` raises and
+:meth:`reachable` returns ``False`` — this is how WAN partitions
+emerge from link faults rather than being scripted.
+
 All sizes are bytes, times are seconds, bandwidths are bytes/second.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import networkx as nx
 
@@ -48,28 +62,65 @@ T1_WAN = LinkSpec(latency_s=0.020, bandwidth_bps=1.544e6 / 8)
 LOOPBACK = LinkSpec(latency_s=1e-5, bandwidth_bps=1e9)
 
 
+#: Sentinel distinguishing "pair not cached" from "cached as unreachable".
+_UNSET: tuple[float, float] | None = (-1.0, -1.0)
+
+
+def _edge_weight(u: str, v: str, data: dict) -> float | None:
+    """Dijkstra weight: per-hop latency; ``None`` hides down links."""
+    if not data.get("up", True):
+        return None
+    link: LinkSpec = data["link"]
+    return link.latency_s
+
+
 class Topology:
     """Sites connected by WAN links; each site has a LAN spec.
 
     The WAN is an undirected weighted graph over site names.  Transfers
-    between sites follow the minimum-latency path; the path's transfer
-    time is the sum of per-hop latencies plus the size divided by the
-    bottleneck (minimum) bandwidth along the path.  Transfers inside a
-    site use the site's LAN spec; transfers inside a host are loopback.
+    between sites follow the minimum-latency path over *up* links; the
+    path's transfer time is the sum of per-hop latencies plus the size
+    divided by the bottleneck (minimum) bandwidth along the path.
+    Transfers inside a site use the site's LAN spec; transfers inside a
+    host are loopback.
+
+    Cache discipline: ``_pair_cache`` memoises the
+    ``(latency sum, bottleneck bandwidth)`` pair per *ordered*
+    (src, dst) — shortest-path tie-breaks are not guaranteed symmetric
+    and the cache must reproduce the uncached per-call result exactly.
+    Unreachable pairs are negatively cached as ``None`` so a partition
+    does not re-run Dijkstra on every send.  *Every* link mutation
+    (``connect``/``set_link``/``set_link_up``/a due schedule step)
+    clears the cache and bumps :attr:`version`; consumers holding
+    derived cost views can cheap-check the stamp.
     """
 
     def __init__(self, lan: LinkSpec = ETHERNET_10,
-                 loopback: LinkSpec = LOOPBACK) -> None:
+                 loopback: LinkSpec = LOOPBACK,
+                 clock: Callable[[], float] | None = None) -> None:
         self._graph = nx.Graph()
         self._lan: dict[str, LinkSpec] = {}
         self._default_lan = lan
         self._loopback = loopback
-        # (src, dst) -> (path latency sum, bottleneck bandwidth): every
-        # send() re-derives this pair, so cache it; construction edits
-        # invalidate.  Keyed per *ordered* pair — shortest_path tie-breaks
-        # are not guaranteed symmetric, and the cache must reproduce the
-        # uncached per-call result exactly.
-        self._pair_cache: dict[tuple[str, str], tuple[float, float]] = {}
+        #: sim-time source for schedule steps; wired by the environment
+        self.clock = clock
+        self._version = 0
+        self._pair_cache: dict[tuple[str, str],
+                               tuple[float, float] | None] = {}
+        # flattened schedule steps: (at, insertion seq, a, b, spec|None),
+        # sorted; _step_idx marks the first not-yet-applied step
+        self._steps: list[tuple[float, int, str, str, LinkSpec | None]] = []
+        self._step_idx = 0
+        self._step_seq = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone stamp bumped on every link/site mutation (INV001)."""
+        return self._version
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        self._pair_cache.clear()
 
     # -- construction -----------------------------------------------------
     def add_site(self, site: str, lan: LinkSpec | None = None) -> None:
@@ -78,17 +129,120 @@ class Topology:
             raise ConfigurationError(f"site {site!r} already in topology")
         self._graph.add_node(site)
         self._lan[site] = lan or self._default_lan
-        self._pair_cache.clear()
+        self._invalidate()
+
+    def remove_site(self, site: str) -> None:
+        """Remove a departed site and every link touching it.
+
+        Pending schedule steps addressing the departed site are dropped
+        too — applying them lazily later would dereference a removed
+        edge from an unrelated cost query.
+        """
+        if site not in self._graph:
+            raise ConfigurationError(f"unknown site {site!r}")
+        self._graph.remove_node(site)
+        del self._lan[site]
+        tail = [step for step in self._steps[self._step_idx:]
+                if site not in (step[2], step[3])]
+        del self._steps[self._step_idx:]
+        self._steps.extend(tail)
+        self._invalidate()
 
     def connect(self, a: str, b: str, link: LinkSpec = ATM_OC3) -> None:
         """Add a WAN link between sites *a* and *b*."""
+        self._check_pair(a, b)
+        self._graph.add_edge(a, b, link=link, up=True)
+        self._invalidate()
+
+    def _check_pair(self, a: str, b: str) -> None:
         for s in (a, b):
             if s not in self._graph:
                 raise ConfigurationError(f"unknown site {s!r}")
         if a == b:
             raise ConfigurationError("cannot connect a site to itself")
-        self._graph.add_edge(a, b, link=link)
-        self._pair_cache.clear()
+
+    def _edge(self, a: str, b: str) -> dict:
+        self._check_pair(a, b)
+        data = self._graph.get_edge_data(a, b)
+        if data is None:
+            raise ConfigurationError(f"no WAN link between {a!r} and {b!r}")
+        return data
+
+    # -- runtime mutation --------------------------------------------------
+    def set_link(self, a: str, b: str, link: LinkSpec) -> None:
+        """Rewrite the latency/bandwidth of an existing link mid-run.
+
+        The link's up/down state is preserved.  Unlike :meth:`connect`
+        this refuses to create a new edge — mutating a link that was
+        never provisioned is almost always a test bug.
+        """
+        data = self._edge(a, b)
+        data["link"] = link
+        self._invalidate()
+
+    def set_link_up(self, a: str, b: str, up: bool) -> None:
+        """Administratively down (or restore) a WAN link.
+
+        A down link keeps its spec but is invisible to path finding —
+        if it was the only route, the site pair becomes unreachable and
+        a partition has emerged.
+        """
+        data = self._edge(a, b)
+        if bool(data.get("up", True)) != up:
+            data["up"] = up
+            self._invalidate()
+
+    def link(self, a: str, b: str) -> LinkSpec:
+        """The current spec of the direct link between *a* and *b*."""
+        data = self._edge(a, b)
+        spec: LinkSpec = data["link"]
+        return spec
+
+    def link_is_up(self, a: str, b: str) -> bool:
+        """Whether the direct link between *a* and *b* is up."""
+        return bool(self._edge(a, b).get("up", True))
+
+    # -- time-varying schedules -------------------------------------------
+    def schedule_link(self, a: str, b: str,
+                      steps: list[tuple[float, LinkSpec | None]]) -> None:
+        """Install a time-varying profile for the *a*–*b* link.
+
+        Each ``(at, spec)`` step takes effect at sim time ``at``:
+        a :class:`LinkSpec` rewrites the link (and brings it up),
+        ``None`` takes it down.  Steps are applied **lazily** — the
+        first cost query at or after ``at`` (via :attr:`clock`) applies
+        every due step and invalidates the caches — so the link state
+        is a pure function of sim time and the installed profiles.
+        """
+        self._edge(a, b)  # validate the pair up front
+        for at, spec in steps:
+            if at < 0:
+                raise ConfigurationError(f"schedule step at {at} < 0")
+            self._steps.append((at, self._step_seq, a, b, spec))
+            self._step_seq += 1
+        # stable (time, insertion) order keeps overlapping profiles
+        # deterministic; already-applied prefix is untouched by sorting
+        # only the pending tail
+        pending = sorted(self._steps[self._step_idx:])
+        del self._steps[self._step_idx:]
+        self._steps.extend(pending)
+
+    def _advance(self) -> None:
+        """Apply every schedule step due by the current clock."""
+        if self._step_idx >= len(self._steps) or self.clock is None:
+            return
+        now = self.clock()
+        while (self._step_idx < len(self._steps)
+               and self._steps[self._step_idx][0] <= now):
+            _at, _seq, a, b, spec = self._steps[self._step_idx]
+            self._step_idx += 1
+            data = self._edge(a, b)
+            if spec is None:
+                data["up"] = False
+            else:
+                data["link"] = spec
+                data["up"] = True
+            self._invalidate()
 
     @property
     def sites(self) -> list[str]:
@@ -103,19 +257,73 @@ class Topology:
 
     # -- queries ------------------------------------------------------------
     def path(self, src: str, dst: str) -> list[str]:
-        """Minimum-latency site path from *src* to *dst* (inclusive)."""
+        """Minimum-latency site path from *src* to *dst* (inclusive).
+
+        Only up links are considered; raises
+        :class:`~repro.util.errors.ConfigurationError` when the pair is
+        partitioned.
+        """
+        self._advance()
         for s in (src, dst):
             if s not in self._graph:
                 raise ConfigurationError(f"unknown site {s!r}")
         if src == dst:
             return [src]
         try:
-            return nx.shortest_path(
-                self._graph, src, dst,
-                weight=lambda u, v, d: d["link"].latency_s)
+            return nx.shortest_path(self._graph, src, dst,
+                                    weight=_edge_weight)
         except nx.NetworkXNoPath:
             raise ConfigurationError(
                 f"no WAN path between {src!r} and {dst!r}") from None
+
+    def _pair(self, src: str, dst: str) -> tuple[float, float] | None:
+        """Cached ``(latency sum, bottleneck bandwidth)``; ``None`` when
+        the pair is currently partitioned (negatively cached)."""
+        self._advance()
+        key = (src, dst)
+        pair = self._pair_cache.get(key, _UNSET)
+        if pair is _UNSET:
+            try:
+                hops = self.path(src, dst)
+            except ConfigurationError:
+                for s in (src, dst):
+                    if s not in self._graph:
+                        raise
+                pair = None
+            else:
+                latency = 0.0
+                bottleneck = float("inf")
+                for u, v in zip(hops, hops[1:]):
+                    link: LinkSpec = self._graph.edges[u, v]["link"]
+                    latency += link.latency_s
+                    bottleneck = min(bottleneck, link.bandwidth_bps)
+                pair = (latency, bottleneck)
+            self._pair_cache[key] = pair
+        return pair
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether a WAN route currently exists from *src* to *dst*.
+
+        A site that is not (or no longer) part of the topology — e.g.
+        one that executed ``site_leave`` while a partition hid the
+        announcement from some peers — is simply unreachable, not an
+        error: stragglers' messages to it become deterministic
+        partition drops.
+        """
+        if src == dst:
+            return src in self._graph or src in self._lan
+        if src not in self._graph or dst not in self._graph:
+            return False
+        return self._pair(src, dst) is not None
+
+    def has_link(self, a: str, b: str) -> bool:
+        """Whether both sites exist and share a direct WAN link.
+
+        Fault injectors use this to skip (rather than crash on) link
+        mutations whose endpoint departed the federation mid-plan.
+        """
+        return (a in self._graph and b in self._graph
+                and self._graph.has_edge(a, b))
 
     def latency(self, src: str, dst: str) -> float:
         """One-way latency between two sites (0-byte message)."""
@@ -133,17 +341,10 @@ class Topology:
         if src == dst:
             spec = self.lan(src)
             return spec.latency_s + nbytes / spec.bandwidth_bps
-        pair = self._pair_cache.get((src, dst))
+        pair = self._pair(src, dst)
         if pair is None:
-            hops = self.path(src, dst)
-            latency = 0.0
-            bottleneck = float("inf")
-            for u, v in zip(hops, hops[1:]):
-                link: LinkSpec = self._graph.edges[u, v]["link"]
-                latency += link.latency_s
-                bottleneck = min(bottleneck, link.bandwidth_bps)
-            pair = (latency, bottleneck)
-            self._pair_cache[(src, dst)] = pair
+            raise ConfigurationError(
+                f"no WAN path between {src!r} and {dst!r}")
         return pair[0] + nbytes / pair[1]
 
     def neighbors_by_latency(self, site: str) -> list[str]:

@@ -33,7 +33,7 @@ from repro.simcore.trace import Tracer
 #: outside the application tree (they time a control-plane promotion,
 #: suspicion -> promoted, see repro.recovery)
 SPAN_CATEGORIES = ("application", "schedule-round", "task-execution",
-                   "message-delivery", "failover")
+                   "message-delivery", "failover", "membership")
 
 _CATEGORY_SET = frozenset(SPAN_CATEGORIES)
 

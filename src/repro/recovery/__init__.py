@@ -19,6 +19,7 @@ from repro.recovery.failover import HeartbeatTracker, ServerHeartbeatDaemon
 from repro.recovery.replication import ReplicationShipper, StandbyReplica
 from repro.recovery.wal import (
     EXECUTION_KINDS,
+    MEMBERSHIP_KINDS,
     REPOSITORY_KINDS,
     WAL_KINDS,
     WalRecord,
@@ -28,6 +29,7 @@ from repro.recovery.wal import (
 
 __all__ = [
     "EXECUTION_KINDS",
+    "MEMBERSHIP_KINDS",
     "REPOSITORY_KINDS",
     "WAL_KINDS",
     "HeartbeatTracker",

@@ -32,7 +32,12 @@ from repro.util.errors import ConfigurationError
 REPOSITORY_KINDS = ("workload-update", "host-down", "host-up")
 EXECUTION_KINDS = ("exec-begin", "ack", "start", "task-completed",
                    "exec-finished")
-WAL_KINDS = REPOSITORY_KINDS + EXECUTION_KINDS
+#: federation membership transitions (repro.federation): observational —
+#: standbys buffer them for post-mortem but apply no eager effect; a
+#: promoted server rebuilds its membership view from live heartbeats.
+MEMBERSHIP_KINDS = ("site-join", "site-leave", "site-quarantine",
+                    "site-rejoin")
+WAL_KINDS = REPOSITORY_KINDS + EXECUTION_KINDS + MEMBERSHIP_KINDS
 
 #: payload fields quoted in the canonical summary (when present)
 _SUMMARY_FIELDS = ("execution_id", "host", "node_id")

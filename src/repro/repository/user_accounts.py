@@ -20,6 +20,7 @@ observe account and tenant changes without re-walking the table.
 from __future__ import annotations
 
 import hashlib
+import json
 import secrets
 from dataclasses import dataclass
 from pathlib import Path
@@ -222,6 +223,78 @@ class UserAccountsDB:
         """User names belonging to *tenant*, sorted."""
         return sorted(key for key, row in self._table.items()
                       if row.get("tenant", DEFAULT_TENANT) == tenant)
+
+    # -- federation directory transfer (repro.federation.catchup) ----------
+    #
+    # A rejoining or newly-joined site replicates the directory by raw
+    # row, never by replaying add_user: add_user draws a fresh salt, so
+    # a replayed account would hash differently and the federation-wide
+    # directory digest could never converge.
+
+    def user_row(self, user_name: str) -> dict | None:
+        """The raw stored account row, or None (a copy; transfer unit)."""
+        row = self._table.get_or(user_name)
+        return dict(row) if row is not None else None
+
+    def tenant_row(self, name: str) -> dict | None:
+        """The raw stored tenant row, or None (a copy; transfer unit)."""
+        row = self._tenants.get_or(name)
+        return dict(row) if row is not None else None
+
+    def export_rows(self) -> dict[str, dict[str, dict]]:
+        """Full raw directory snapshot: ``{"users": ..., "tenants": ...}``."""
+        return {
+            "users": {key: dict(row) for key, row in
+                      sorted(self._table.items())},
+            "tenants": {key: dict(row) for key, row in
+                        sorted(self._tenants.items())},
+        }
+
+    def apply_user_row(self, user_name: str, row: dict | None) -> bool:
+        """Install (or, with ``None``, remove) a transferred account row.
+
+        Idempotent: applying a row identical to the stored one is a
+        no-op that publishes no delta event, so repeated catch-ups from
+        several peers neither churn the journal nor bump the version.
+        Returns whether anything changed.
+        """
+        if row is None:
+            if user_name not in self._table:
+                return False
+            self._table.delete(user_name)
+            self._stamp("user-removed", user_name)
+            return True
+        if self._table.get_or(user_name) == row:
+            return False
+        self._table.put(user_name, dict(row))
+        self._next_id = max(self._next_id, int(row["user_id"]) + 1)
+        self._stamp("user", user_name, row.get("tenant", DEFAULT_TENANT))
+        return True
+
+    def apply_tenant_row(self, name: str, row: dict | None) -> bool:
+        """Install (or remove) a transferred tenant row; see apply_user_row."""
+        if row is None:
+            if name not in self._tenants:
+                return False
+            self._tenants.delete(name)
+            self._stamp("tenant-removed", name)
+            return True
+        if self._tenants.get_or(name) == row:
+            return False
+        self._tenants.put(name, dict(row))
+        self._stamp("tenant", name)
+        return True
+
+    def directory_digest(self) -> str:
+        """SHA-256 over the canonical-JSON raw directory.
+
+        Two sites whose digests match hold byte-identical directories —
+        the convergence check the federation catch-up acceptance tests
+        (and ``docs/federation.md``) are built on.
+        """
+        canonical = json.dumps(self.export_rows(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # persistence passthrough
     @staticmethod

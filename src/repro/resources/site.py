@@ -122,6 +122,8 @@ class VDCEnvironment:
         self.env = Environment()
         self.tracer = Tracer(enabled=trace)
         self.topology = Topology() if lan is None else Topology(lan=lan)
+        # sim-time clock drives lazily-applied time-varying link schedules
+        self.topology.clock = lambda: self.env.now
         self.network = Network(self.env, self.topology, tracer=self.tracer)
         self.rng = RngRegistry(seed)
         self.sites: dict[str, Site] = {}

@@ -111,6 +111,10 @@ class SiteManager:
         #: hook invoked with the reschedule-request payload (installed by
         #: the VDCE facade, which owns cross-module rescheduling)
         self.on_reschedule_request: Callable[[dict], None] | None = None
+        #: degraded-mode site predicate (installed by the facade when
+        #: federation membership is enabled): quarantined sites are
+        #: excluded from every scheduling round this manager runs
+        self.site_filter: Callable[[str], bool] | None = None
         #: write-ahead-log shipper (a ReplicationShipper, attached by the
         #: RecoveryCoordinator when failover is enabled for this site);
         #: every mutating operation logs through :meth:`_log` first
@@ -156,20 +160,27 @@ class SiteManager:
 
     # -- repository updates -----------------------------------------------
     def _on_workload_update(self, msg) -> None:
-        sample = msg.payload
-        self._log("workload-update", dict(sample))
-        self.repository.resource_performance.update_dynamic(
-            sample["host"], cpu_load=sample["cpu_load"],
-            available_memory_mb=sample["available_memory_mb"],
-            time=sample["time"])
-        self.updates_applied += 1
-        self.tracer.record(self.env.now, "sm:db-update", self.address,
-                           host=sample["host"], load=sample["cpu_load"])
-        if self.obs.enabled:
-            self.obs.metrics.counter(
-                "sm_db_updates_total",
-                help="repository workload updates applied").inc(
-                    site=self.site.name)
+        # A coalescing Group Manager ships {"samples": [...]}; the
+        # uncoalesced path ships one bare sample.  Both apply (and WAL)
+        # per sample, in arrival order, so replication and repository
+        # bytes are identical with coalescing on or off.
+        payload = msg.payload
+        samples = (payload["samples"] if isinstance(payload, dict)
+                   and "samples" in payload else [payload])
+        for sample in samples:
+            self._log("workload-update", dict(sample))
+            self.repository.resource_performance.update_dynamic(
+                sample["host"], cpu_load=sample["cpu_load"],
+                available_memory_mb=sample["available_memory_mb"],
+                time=sample["time"])
+            self.updates_applied += 1
+            self.tracer.record(self.env.now, "sm:db-update", self.address,
+                               host=sample["host"], load=sample["cpu_load"])
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "sm_db_updates_total",
+                    help="repository workload updates applied").inc(
+                        site=self.site.name)
 
     def _on_host_down(self, msg) -> None:
         host = msg.payload["host"]
@@ -196,6 +207,33 @@ class SiteManager:
             state.controllers.discard(f"{host}/appctl")
             self.tracer.record(self.env.now, "sm:ack-waived", self.address,
                                execution=state.execution_id, host=host)
+            self._maybe_start(state)
+
+    def waive_site_acks(self, site_name: str) -> None:
+        """Waive pending channel acks from every host at an unreachable site.
+
+        The partition analogue of the host-down ack waiver: hosts at a
+        quarantined (or departing) site cannot deliver their acks, and a
+        not-yet-started execution must not wait on them forever — their
+        tasks are re-queued onto reachable sites by the facade.
+        """
+        prefix = f"{site_name}/"
+        for state in self._executions.values():
+            if state.started:
+                continue
+            stale = sorted(h for h in state.expected_acks
+                           if h.startswith(prefix))
+            if not stale:
+                continue
+            if hooks.HB is not None:
+                self._hb_exec(f"ack-waive:{state.execution_id}")
+            for host in stale:
+                state.expected_acks.discard(host)
+                state.received_acks.discard(host)
+                state.controllers.discard(f"{host}/appctl")
+            self.tracer.record(self.env.now, "sm:site-acks-waived",
+                               self.address, execution=state.execution_id,
+                               site=site_name, hosts=len(stale))
             self._maybe_start(state)
 
     def _on_host_up(self, msg) -> None:
@@ -256,7 +294,8 @@ class SiteManager:
         request_id = f"{self.site.name}-req-{self._request_seq}"
         scheduler = SiteScheduler(self.site.name, self.topology,
                                   k_remote_sites=k_remote_sites,
-                                  queue_aware=queue_aware, obs=self.obs)
+                                  queue_aware=queue_aware, obs=self.obs,
+                                  site_filter=self.site_filter)
         remote_sites = scheduler.select_remote_sites()
         pending = PendingSchedule(request_id=request_id, graph=graph,
                                   expected_sites=set(remote_sites),

@@ -95,6 +95,10 @@ class SchedulerContext:
     #: job.  ``None`` means single-tenant operation — the default, and
     #: byte-identical to the pre-tenancy behaviour.
     tenancy: TenantGate | None = None
+    #: degraded-mode site predicate (``repro.federation``): sites it
+    #: rejects — quarantined by the membership protocol — are excluded
+    #: from neighbourhood selection.  ``None`` means full membership.
+    site_filter: Callable[[str], bool] | None = None
 
 
 SchedulerFactory = Callable[[SchedulerContext], Scheduler]

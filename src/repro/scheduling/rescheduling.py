@@ -54,19 +54,26 @@ class Rescheduler:
 
     def reschedule(self, node: TaskNode, current: AllocationEntry,
                    exclude_hosts: set[str] | None = None,
+                   exclude_sites: set[str] | None = None,
                    ) -> AllocationEntry:
         """New allocation for *node*, avoiding *exclude_hosts*.
 
         Considers every site's current view; raises
-        :class:`NoFeasibleHostError` when nowhere better exists.  A
+        :class:`NoFeasibleHostError` when nowhere better exists.
+        *exclude_sites* removes whole sites from consideration — the
+        degraded-mode path passes the observer's quarantined set so a
+        task lost to a partition is never re-queued back into it.  A
         parallel task is rescheduled onto a single replacement host
         (degrading to sequential execution) — re-gathering a full
         multi-host gang mid-flight is out of the prototype's scope, as
         it is in the paper's.
         """
         exclude = set(exclude_hosts or ()) | set(current.hosts)
+        skip_sites = exclude_sites or set()
         best: AllocationEntry | None = None
         for site, repo in sorted(self.repositories.items()):
+            if site in skip_sites:
+                continue
             predictor = self._predictor_factory(repo)
             records = [
                 rec for rec in repo.resource_performance.hosts_at(site)

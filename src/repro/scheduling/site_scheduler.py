@@ -73,7 +73,8 @@ class SiteScheduler:
     def __init__(self, local_site: str, topology: Topology,
                  k_remote_sites: int = 2, queue_aware: bool = False,
                  obs: Observability | None = None,
-                 diagnostics: bool = True) -> None:
+                 diagnostics: bool = True,
+                 site_filter: Any = None) -> None:
         if k_remote_sites < 0:
             raise SchedulingError("k_remote_sites must be >= 0")
         self.local_site = local_site
@@ -84,11 +85,26 @@ class SiteScheduler:
         #: populate ScheduleReport's order/candidate maps; rescheduling
         #: hot loops turn this off — assignments are unaffected
         self.diagnostics = diagnostics
+        #: degraded-mode predicate ``site -> bool`` (the federation
+        #: membership view): sites it rejects are never consulted, even
+        #: while momentarily reachable mid-flap.  None = every
+        #: topology-reachable site is eligible.
+        self.site_filter = site_filter
 
     # -- step 2: neighbour selection ---------------------------------------
     def select_remote_sites(self) -> list[str]:
-        """The k nearest neighbour sites (step 2), by WAN latency."""
-        return self.topology.nearest_sites(self.local_site, self.k)
+        """The k nearest usable neighbour sites (step 2), by WAN latency.
+
+        ``neighbors_by_latency`` already excludes sites with no
+        surviving WAN path; the membership ``site_filter`` additionally
+        excludes quarantined sites, *before* the k-truncation — so a
+        quarantined nearest neighbour costs nothing from the
+        neighbourhood budget.
+        """
+        ranked = self.topology.neighbors_by_latency(self.local_site)
+        if self.site_filter is not None:
+            ranked = [site for site in ranked if self.site_filter(site)]
+        return ranked[:self.k]
 
     # -- steps 6-7: the assignment walk -------------------------------------
     def schedule(
@@ -294,7 +310,8 @@ class FederatedSiteScheduler:
         k = ctx.k_remote_sites if k_remote_sites is None else k_remote_sites
         self._scheduler = SiteScheduler(
             ctx.local_site, ctx.topology, k_remote_sites=k,
-            queue_aware=queue_aware, obs=ctx.obs)
+            queue_aware=queue_aware, obs=ctx.obs,
+            site_filter=ctx.site_filter)
         self.last_report: ScheduleReport | None = None
 
     def schedule(self, graph: ApplicationFlowGraph

@@ -75,10 +75,19 @@ class ReplayBackend(Protocol):
 
 
 class CapacityBackend:
-    """Per-site processor pools with trace-duration service times."""
+    """Per-site processor pools with trace-duration service times.
+
+    ``site_filter`` is the degraded-mode hook
+    (:meth:`~repro.federation.Federation.usable_filter`): sites it
+    rejects hold no usable capacity, so admission control sheds load
+    against *reachable* capacity — with every remote site quarantined,
+    jobs too wide for the surviving pools are rejected as infeasible
+    rather than queued forever.
+    """
 
     def __init__(self, env: Environment, sites: Iterable[str],
-                 procs_per_site: int) -> None:
+                 procs_per_site: int,
+                 site_filter: Callable[[str], bool] | None = None) -> None:
         self.env = env
         self.free: dict[str, int] = {site: procs_per_site
                                      for site in sorted(sites)}
@@ -86,22 +95,30 @@ class CapacityBackend:
         self.busy_proc_s: dict[str, float] = {site: 0.0
                                               for site in self.free}
         self._site_names = sorted(self.free)
+        self.site_filter = site_filter
+
+    def _usable(self) -> list[str]:
+        if self.site_filter is None:
+            return self._site_names
+        return [site for site in self._site_names if self.site_filter(site)]
 
     def fits(self, req: JobRequest) -> bool:
         nproc = req.nproc
-        for site in self._site_names:
+        for site in self._usable():
             if self.free[site] >= nproc:
                 return True
         return False
 
     def ever_fits(self, req: JobRequest) -> bool:
-        return req.nproc <= self.procs_per_site
+        if req.nproc > self.procs_per_site:
+            return False
+        return bool(self._usable())
 
     def _place(self, nproc: int) -> str:
         """Most-free site that fits, ties broken by name (deterministic)."""
         best = ""
         best_free = -1
-        for site in self._site_names:
+        for site in self._usable():
             free = self.free[site]
             if free >= nproc and free > best_free:
                 best, best_free = site, free

@@ -50,6 +50,7 @@ class ChaosOutcome:
     chrome_trace: str | None = None     # Chrome trace_event JSON (obs runs)
     failovers: int = 0                  # standby promotions that fired
     tasks_executed: int = 0             # runs-to-completion over all hosts
+    ledger: str | None = None           # federation ledger (membership runs)
 
 
 def group_leaders(vdce) -> set[str]:
@@ -79,6 +80,7 @@ def run_chaos(seed: int, n: int = 200, horizon_s: float = 60.0,
               plan: FaultPlan | None = None,
               min_sim_time_s: float = 0.0,
               batching: bool = True,
+              membership: bool = False,
               **plan_kwargs) -> ChaosOutcome:
     """One seeded chaos run of the linear-solver pipeline.
 
@@ -96,10 +98,15 @@ def run_chaos(seed: int, n: int = 200, horizon_s: float = 60.0,
     *batching* flips the network's same-tick fan-out coalescing; the
     batching-identity CI assertions run the same seed both ways and
     require byte-identical fault logs and traces.
+    *membership* enables the federation heartbeat daemons, so link
+    faults quarantine sites, degraded-mode scheduling re-queues their
+    in-flight tasks, and the outcome carries the membership ``ledger``.
     """
     observability = Observability() if obs else None
     vdce = quiet_testbed(seed=seed, obs=observability, batching=batching)
     vdce.start()
+    if membership:
+        vdce.enable_membership()
     if failover_standbys:
         for site_name in sorted(failover_standbys):
             vdce.enable_failover(site_name,
@@ -153,6 +160,8 @@ def run_chaos(seed: int, n: int = 200, horizon_s: float = 60.0,
         failovers=vdce.recovery.failovers if vdce.recovery else 0,
         tasks_executed=sum(ac.stats.tasks_executed
                            for ac in vdce.app_controllers.values()),
+        ledger=(vdce.federation.ledger_json()
+                if vdce.federation is not None else None),
     )
 
 

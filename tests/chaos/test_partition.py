@@ -1,0 +1,138 @@
+"""Chaos under WAN partitions: flapping links with membership enabled.
+
+The partition chaos contract (the elastic-membership PR's acceptance
+suite): with the federation heartbeat daemons running, seeded
+:class:`~repro.faults.LinkFlap` plans repeatedly sever and heal the only
+WAN link while a pipelined application runs.  Sites quarantine each
+other, degraded-mode scheduling re-queues the tasks stranded behind the
+partition, rejoin reconciles — and through all of it no execution is
+lost or duplicated, and the entire observable record (fault log and
+membership ledger) is byte-identical across same-seed runs.
+
+CI runs this file twice and diffs the uploaded artifacts byte-for-byte;
+the in-process determinism test below is the fast local equivalent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.faults import FaultPlan, LinkDown, LinkFlap
+from tests.chaos.harness import ChaosOutcome, assert_invariants, run_chaos
+
+#: fixed seeds, mirrored in the CI chaos-partition job
+PARTITION_SEEDS = (4001, 4002, 4003, 4006)
+
+
+def flap_plan(cycles: int = 3, at: float = 6.0, down_s: float = 12.0,
+              up_s: float = 10.0) -> FaultPlan:
+    """A deterministic flap of the single syracuse~rome WAN link.
+
+    ``down_s`` comfortably exceeds the membership suspicion horizon
+    (6.5 s), so every down phase quarantines both sides and every up
+    phase rejoins them — the maximum-churn schedule for the
+    requeue/reconcile machinery.
+    """
+    return FaultPlan([LinkFlap("syracuse", "rome", at=at, cycles=cycles,
+                               down_s=down_s, up_s=up_s)])
+
+
+def run_partition_chaos(seed: int, *, plan: FaultPlan | None = None,
+                        obs: bool = False,
+                        n_link_flaps: int = 2) -> ChaosOutcome:
+    """One seeded membership-enabled chaos run.
+
+    Without an explicit *plan*, the seeded random plan draws link flaps
+    (plus the usual host crashes and message-fault windows) so partition
+    faults compose with the rest of the chaos vocabulary.
+    """
+    kwargs = {} if plan is not None else {"n_link_flaps": n_link_flaps}
+    return run_chaos(seed, n=160, membership=True, obs=obs, plan=plan,
+                     max_sim_time_s=3000.0, **kwargs)
+
+
+def assert_partition_invariants(outcome: ChaosOutcome) -> None:
+    """The base chaos contract plus the membership-specific clauses."""
+    assert_invariants(outcome)
+    ctx = f"(seed {outcome.seed})"
+    assert outcome.ledger is not None, f"membership ledger missing {ctx}"
+    ledger = json.loads(outcome.ledger)
+    for observer, events in ledger.items():
+        quarantines = sum(e["event"] == "quarantine" for e in events)
+        rejoins = sum(e["event"] == "rejoin" for e in events)
+        # every healed partition must reconcile: rejoins can lag at
+        # most one behind quarantines (a final unhealed down phase)
+        assert quarantines - rejoins <= 1, \
+            f"{observer} stuck quarantined: {events} {ctx}"
+
+
+class TestPartitionChaos:
+    @pytest.mark.parametrize("seed", PARTITION_SEEDS)
+    def test_seeded_flap_plans_hold_the_contract(self, seed):
+        assert_partition_invariants(run_partition_chaos(seed))
+
+    def test_deterministic_flaps_complete_exactly_once(self):
+        # min_sim_time_s rides past application completion so every
+        # flap cycle (last heals at t=72) fires and reconciles
+        outcome = run_chaos(11, n=160, membership=True, plan=flap_plan(),
+                            max_sim_time_s=3000.0, min_sim_time_s=90.0)
+        assert_partition_invariants(outcome)
+        assert outcome.status == "completed"
+        assert outcome.completions == outcome.total_tasks
+        ledger = json.loads(outcome.ledger)
+        for observer in ("syracuse", "rome"):
+            events = [e["event"] for e in ledger[observer]]
+            assert events.count("quarantine") == 3
+            assert events.count("rejoin") == 3
+
+    def test_unhealed_partition_still_terminates(self):
+        """A permanent cut mid-run must end in a typed state, not hang:
+        degraded-mode scheduling pulls the far side's tasks home."""
+        outcome = run_partition_chaos(
+            12, plan=FaultPlan([LinkDown("syracuse", "rome", at=8.0)]))
+        assert_invariants(outcome)
+        assert outcome.status == "completed"
+        assert outcome.completions == outcome.total_tasks
+
+    def test_same_seed_runs_are_byte_identical(self):
+        first = run_partition_chaos(PARTITION_SEEDS[0], obs=True)
+        second = run_partition_chaos(PARTITION_SEEDS[0], obs=True)
+        assert first.fault_log == second.fault_log
+        assert first.ledger == second.ledger
+        assert first.chrome_trace == second.chrome_trace
+        assert first.completions == second.completions
+        assert first.makespan == second.makespan
+
+
+def main() -> None:
+    """CI artifact mode: run the fixed seeds, dump logs + ledgers.
+
+    ``python -m tests.chaos.test_partition OUTDIR`` writes, per seed,
+    the injector fault log, the membership ledger, and the Chrome
+    trace; the chaos-partition CI job runs it twice and byte-diffs the
+    two directories.
+    """
+    import sys
+
+    outdir = sys.argv[1]
+    os.makedirs(outdir, exist_ok=True)
+    for seed in PARTITION_SEEDS:
+        outcome = run_partition_chaos(seed, obs=True)
+        assert_partition_invariants(outcome)
+        base = os.path.join(outdir, f"seed{seed}")
+        with open(f"{base}.faults.json", "w") as fh:
+            fh.write(outcome.fault_log)
+        with open(f"{base}.ledger.json", "w") as fh:
+            fh.write(outcome.ledger)
+        with open(f"{base}.trace.json", "w") as fh:
+            fh.write(outcome.chrome_trace)
+        print(f"seed {seed}: {outcome.status} "
+              f"{outcome.completions}/{outcome.total_tasks} tasks, "
+              f"faults={sum(outcome.fault_counts.values())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -302,6 +302,47 @@ class TestRunAnalysis:
             run_analysis(AnalyzeConfig(scenarios=("nope",)))
 
 
+class TestMembershipUnderSanitizer:
+    def test_membership_enabled_run_stays_isolated_and_race_free(self):
+        """The federation acceptance probe: heartbeats, quarantine,
+        degraded re-queue, and rejoin catch-up all run under the
+        sanitizer — no same-tick races, every cross-site interaction
+        via Network."""
+        from repro.faults import FaultPlan, LinkFlap
+        from repro.workloads import linear_solver_graph, quiet_testbed
+
+        vdce = quiet_testbed(seed=7)
+        vdce.start()
+        vdce.enable_membership()
+        session = AnalysisSession(vdce.env, sites=vdce.world.sites)
+        with session:
+            session.track_vdce(vdce)
+            vdce.apply_fault_plan(FaultPlan([
+                LinkFlap("syracuse", "rome", at=6.0, down_s=12.0,
+                         up_s=10.0, cycles=2)]))
+            graph = linear_solver_graph(vdce.registry, n=60)
+            sites = sorted(vdce.world.sites)
+            for i, nid in enumerate(graph.nodes):
+                graph.node(nid).properties.preferred_site = \
+                    sites[i % len(sites)]
+            process, run = vdce.submit(graph, sites[0], k_remote_sites=1)
+            deadline = vdce.now + 2000.0
+            while not process.triggered and vdce.now < deadline:
+                vdce.env.run(until=vdce.now + 5.0)
+            # ride through the whole flap schedule (last heal at t=50)
+            # so quarantine/rejoin/catch-up run under the sanitizer too
+            while vdce.now < 60.0:
+                vdce.env.run(until=vdce.now + 5.0)
+        rec = session.recorder
+        assert run.status == "completed"
+        assert rec.unsuppressed_races() == []
+        assert rec.isolation_violations() == []
+        # the flap genuinely exercised the membership machinery
+        events = [e["event"]
+                  for e in vdce.federation.daemon("syracuse").events]
+        assert "quarantine" in events and "rejoin" in events
+
+
 class TestAnalyzeCli:
     def test_analyze_bakeoff_smoke(self, capsys, tmp_path):
         out_path = tmp_path / "report.json"

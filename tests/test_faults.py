@@ -13,6 +13,9 @@ from repro.faults import (
     FaultPlan,
     HostCrash,
     LinkDegradation,
+    LinkDegrade,
+    LinkDown,
+    LinkFlap,
     LinkPartition,
     MessageFaults,
     ServerCrash,
@@ -142,6 +145,8 @@ class TestSpecTypes:
             "host-crash": HostCrash, "site-outage": SiteOutage,
             "link-partition": LinkPartition,
             "link-degradation": LinkDegradation,
+            "link-down": LinkDown, "link-flap": LinkFlap,
+            "link-degrade": LinkDegrade,
             "message-faults": MessageFaults,
             "server-crash": ServerCrash,
         }

@@ -128,3 +128,81 @@ class TestTopology:
         topo.connect("a", "c", LinkSpec(latency_s=0.01, bandwidth_bps=1e9))
         topo.connect("c", "b", LinkSpec(latency_s=0.01, bandwidth_bps=1e9))
         assert topo.path("a", "b") == ["a", "c", "b"]
+
+
+class TestRuntimeLinkMutation:
+    """Mid-run link mutations must invalidate every cached cost.
+
+    Regression guard for the WAN-cache staleness bug: ``_pair`` caches
+    ``(latency, bandwidth)`` per site pair (with negative caching of
+    partitions), so ``set_link``/``set_link_up``/``remove_site`` must
+    flush it or transfer costs, neighbor rankings, and reachability keep
+    reporting the pre-mutation world.
+    """
+
+    def test_set_link_refreshes_cached_transfer_costs(self):
+        topo = three_site_topology()
+        before = topo.transfer_time("syracuse", "rome", 1e6)  # warm cache
+        slower = LinkSpec(latency_s=ATM_OC3.latency_s * 10,
+                          bandwidth_bps=ATM_OC3.bandwidth_bps / 10)
+        topo.set_link("syracuse", "rome", slower)
+        after = topo.transfer_time("syracuse", "rome", 1e6)
+        assert after == pytest.approx(slower.transfer_time(1e6))
+        assert after > before
+
+    def test_set_link_up_flips_cached_reachability(self):
+        topo = three_site_topology()
+        assert topo.reachable("syracuse", "buffalo")  # warm cache
+        topo.set_link_up("rome", "buffalo", False)
+        assert not topo.reachable("syracuse", "buffalo")
+        topo.set_link_up("rome", "buffalo", True)  # negative cache flushed
+        assert topo.reachable("syracuse", "buffalo")
+
+    def test_set_link_reorders_cached_neighbor_ranking(self):
+        topo = three_site_topology()
+        assert topo.neighbors_by_latency("rome") == ["syracuse", "buffalo"]
+        topo.set_link("rome", "syracuse", LinkSpec(
+            latency_s=T1_WAN.latency_s * 100, bandwidth_bps=1e6))
+        assert topo.neighbors_by_latency("rome") == ["buffalo", "syracuse"]
+
+    def test_mutating_unknown_link_refuses(self):
+        topo = three_site_topology()
+        with pytest.raises(ConfigurationError):
+            topo.set_link("syracuse", "buffalo", T1_WAN)  # never connected
+        with pytest.raises(ConfigurationError):
+            topo.set_link_up("syracuse", "nowhere", False)
+
+    def test_down_link_keeps_spec_and_restores(self):
+        topo = three_site_topology()
+        spec = topo.link("syracuse", "rome")
+        topo.set_link_up("syracuse", "rome", False)
+        assert not topo.link_is_up("syracuse", "rome")
+        assert topo.link("syracuse", "rome") is spec
+        topo.set_link_up("syracuse", "rome", True)
+        assert topo.link_is_up("syracuse", "rome")
+
+    def test_removed_site_is_unreachable_not_an_error(self):
+        topo = three_site_topology()
+        assert topo.reachable("syracuse", "buffalo")  # warm cache
+        topo.remove_site("buffalo")
+        assert not topo.reachable("syracuse", "buffalo")
+        assert not topo.reachable("buffalo", "syracuse")
+        assert topo.reachable("syracuse", "rome")
+        assert not topo.has_link("rome", "buffalo")
+
+    def test_remove_site_drops_its_pending_schedule_steps(self):
+        topo = three_site_topology()
+        times = iter([0.0, 50.0, 50.0, 50.0])
+        topo.clock = lambda: next(times)
+        topo.schedule_link("rome", "buffalo", [(10.0, None)])
+        topo.schedule_link("syracuse", "rome", [(20.0, None)])
+        topo.remove_site("buffalo")
+        # the surviving step still applies; the orphaned one is gone
+        assert not topo.reachable("syracuse", "rome")
+        assert topo.has_link("syracuse", "rome")
+
+    def test_has_link_requires_both_sites_and_an_edge(self):
+        topo = three_site_topology()
+        assert topo.has_link("syracuse", "rome")
+        assert not topo.has_link("syracuse", "buffalo")
+        assert not topo.has_link("syracuse", "atlantis")

@@ -16,6 +16,7 @@ import pytest
 from repro.faults import FaultPlan, HostCrash, ServerCrash
 from repro.recovery import (
     EXECUTION_KINDS,
+    MEMBERSHIP_KINDS,
     REPOSITORY_KINDS,
     WAL_KINDS,
     HeartbeatTracker,
@@ -57,7 +58,11 @@ class TestWriteAheadLog:
 
     def test_kind_catalogue_is_partitioned(self):
         assert set(REPOSITORY_KINDS).isdisjoint(EXECUTION_KINDS)
-        assert set(WAL_KINDS) == set(REPOSITORY_KINDS) | set(EXECUTION_KINDS)
+        assert set(MEMBERSHIP_KINDS).isdisjoint(
+            set(REPOSITORY_KINDS) | set(EXECUTION_KINDS))
+        assert set(WAL_KINDS) == (set(REPOSITORY_KINDS)
+                                  | set(EXECUTION_KINDS)
+                                  | set(MEMBERSHIP_KINDS))
 
     def test_summary_json_is_canonical_and_json_safe(self):
         wal = WriteAheadLog()

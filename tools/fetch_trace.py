@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Fetch (or deterministically regenerate) the checked-in trace sample.
+
+The repository ships a ~1000-job sample at
+``data/traces/alibaba_sample.trace`` in the Uberun/Trinity tuple format
+(``repro.traffic.trace``).  This tool produces it two ways:
+
+* **Online** — ``--swf URL_OR_PATH`` converts a Standard Workload
+  Format log (the Parallel Workloads Archive, e.g. the LANL CM-5 or
+  KIT ForHLR II traces) into the tuple format, keeping the first
+  ``--count`` runnable jobs and rebasing submit times to zero.
+
+* **Offline (default)** — regenerates the checked-in sample
+  byte-for-byte from the seeded synthetic Alibaba-shaped generator
+  (:func:`repro.traffic.trace.synthetic_alibaba_trace`).  CI and the
+  round-trip tests rely on this mode: no network, no new bytes.
+
+Usage::
+
+    python tools/fetch_trace.py                       # regenerate sample
+    python tools/fetch_trace.py --out /tmp/t.trace --count 500 --seed 7
+    python tools/fetch_trace.py --swf https://.../l_lanl_cm5.swf.gz
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import io
+import sys
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.traffic.trace import (  # noqa: E402
+    JobRequest,
+    dump_trace,
+    synthetic_alibaba_trace,
+    tenant_name,
+    user_name,
+)
+
+DEFAULT_OUT = REPO_ROOT / "data" / "traces" / "alibaba_sample.trace"
+DEFAULT_COUNT = 1000
+DEFAULT_SEED = 20260808
+DEFAULT_TENANTS = 8
+DEFAULT_USERS = 200
+
+
+def regenerate(count: int, seed: int, users: int, tenants: int):
+    """The deterministic sample: same (count, seed) -> same bytes."""
+    rng = np.random.default_rng(seed)
+    return synthetic_alibaba_trace(rng, count, users=users,
+                                   tenants=tenants)
+
+
+def read_swf(source: str) -> io.TextIOBase:
+    """Open an SWF log from a URL or local path, gunzipping if needed."""
+    if source.startswith(("http://", "https://")):
+        raw = urllib.request.urlopen(source, timeout=60).read()
+    else:
+        raw = Path(source).read_bytes()
+    if raw[:2] == b"\x1f\x8b":
+        raw = gzip.decompress(raw)
+    return io.StringIO(raw.decode("utf-8", errors="replace"))
+
+
+def convert_swf(fh: io.TextIOBase, count: int, tenants: int):
+    """SWF -> JobRequest stream: first *count* runnable jobs, rebased.
+
+    SWF columns (1-based): 1 job number, 2 submit time, 4 run time,
+    5 allocated processors.  Jobs with unknown (-1) or non-positive
+    run time / processor counts are skipped — they cannot be replayed.
+    """
+    base: float | None = None
+    emitted = 0
+    for line in fh:
+        text = line.strip()
+        if not text or text.startswith(";"):
+            continue
+        parts = text.split()
+        if len(parts) < 5:
+            continue
+        try:
+            jobnum = int(parts[0])
+            submit = float(parts[1])
+            run = float(parts[3])
+            procs = int(parts[4])
+        except ValueError:
+            continue
+        if run <= 0 or procs < 1 or submit < 0:
+            continue
+        if base is None:
+            base = submit
+        user = user_name(jobnum % DEFAULT_USERS)
+        yield JobRequest(
+            job=f"j{jobnum:06d}", nproc=procs,
+            submit_time_s=submit - base, duration_s=run, user=user,
+            tenant=tenant_name(jobnum % tenants))
+        emitted += 1
+        if emitted >= count:
+            return
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output path (default {DEFAULT_OUT})")
+    parser.add_argument("--count", type=int, default=DEFAULT_COUNT,
+                        help="number of jobs to emit")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="RNG seed for the synthetic mode")
+    parser.add_argument("--users", type=int, default=DEFAULT_USERS)
+    parser.add_argument("--tenants", type=int, default=DEFAULT_TENANTS)
+    parser.add_argument("--swf", metavar="URL_OR_PATH", default=None,
+                        help="convert this SWF log instead of "
+                        "regenerating the synthetic sample")
+    args = parser.parse_args(argv)
+
+    if args.swf is not None:
+        try:
+            requests = list(convert_swf(read_swf(args.swf), args.count,
+                                        args.tenants))
+        except OSError as exc:
+            print(f"fetch failed ({exc}); falling back to the "
+                  f"deterministic synthetic sample", file=sys.stderr)
+            requests = regenerate(args.count, args.seed, args.users,
+                                  args.tenants)
+    else:
+        requests = regenerate(args.count, args.seed, args.users,
+                              args.tenants)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    written = dump_trace(requests, args.out)
+    print(f"wrote {written} jobs to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
